@@ -1,0 +1,2 @@
+"""Benchmark harness: one module per table/figure of the paper's
+evaluation. Reports are written to ``benchmarks/results/``."""

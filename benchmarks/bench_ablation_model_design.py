@@ -1,0 +1,58 @@
+"""Ablation: the two §IV-B2 design choices of the performance model.
+
+The paper motivates (a) constraint-proximity sample weights (Eq. 4) and
+(b) the monotonicity constraint on the concurrent-user feature, arguing
+they jointly improve recommendations. This benchmark evaluates the
+2x2 grid of design choices under the Fig 8 protocol.
+"""
+
+from benchmarks.conftest import write_report
+from repro.evaluation.harness import EvaluationConfig, evaluate_methods
+from repro.models import LLM_CATALOG
+from repro.recommendation.pilot import LLMPilotRecommender
+from repro.utils.tables import format_table
+
+
+def test_ablation_weights_and_monotonicity(benchmark, full_dataset, generator, results_dir):
+    cfg = EvaluationConfig(max_request_weight=generator.max_request_weight())
+    constraints = cfg.constraints
+    lookup = dict(LLM_CATALOG)
+
+    def factory(weights: bool, mono: bool):
+        return lambda: LLMPilotRecommender(
+            constraints=constraints,
+            tune=False,
+            use_sample_weights=weights,
+            use_monotone_constraint=mono,
+        )
+
+    factories = {
+        "weights+mono": factory(True, True),
+        "weights only": factory(True, False),
+        "mono only": factory(False, True),
+        "neither": factory(False, False),
+    }
+    scores = benchmark.pedantic(
+        lambda: evaluate_methods(factories, full_dataset, lookup, config=cfg),
+        rounds=1,
+        iterations=1,
+    )
+
+    full = scores["weights+mono"]
+    neither = scores["neither"]
+    # The paper's full design should not be worse than dropping both.
+    assert full.so >= neither.so - 0.05, (
+        f"full design {full.so:.2f} vs neither {neither.so:.2f}"
+    )
+
+    rows = [
+        [name, s.success_rate, s.mean_overspend, s.so]
+        for name, s in scores.items()
+    ]
+    report = format_table(
+        ["variant", "success rate", "overspend", "S/O"],
+        rows,
+        floatfmt=".2f",
+        title="Ablation — Eq. (4) weights x monotonicity constraint:",
+    )
+    write_report(results_dir, "ablation_model_design.txt", report)

@@ -1,0 +1,44 @@
+"""Fig 3: Spearman rank correlation between request parameters.
+
+Paper claim: the latency-dominant parameters — token counts, batch size
+and the sampling parameters — are strongly correlated with one another,
+which is why the workload generator must model them jointly.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.analysis import spearman_matrix
+from repro.utils.tables import format_matrix
+
+
+def test_fig3_parameter_correlation(benchmark, traces, results_dir):
+    corr, params = benchmark.pedantic(
+        lambda: spearman_matrix(traces), rounds=1, iterations=1
+    )
+
+    def rho(a, b):
+        return corr[params.index(a), params.index(b)]
+
+    # Key correlations the paper's Fig 3 highlights.
+    assert abs(rho("input_tokens", "output_tokens")) > 0.1
+    assert abs(rho("input_tokens", "batch_size")) > 0.1
+    assert abs(rho("output_tokens", "batch_size")) > 0.1
+    assert rho("output_tokens", "max_new_tokens") > 0.8
+    assert abs(rho("decoding_method", "temperature")) > 0.3
+    # Symmetry + unit diagonal sanity.
+    assert np.allclose(corr, corr.T, atol=1e-12)
+    assert np.allclose(np.diag(corr), 1.0)
+
+    rows = [[f"{corr[i, j]:+.2f}" for j in range(len(params))] for i in range(len(params))]
+    report = format_matrix(
+        params,
+        [p[:9] for p in params],
+        rows,
+        corner="Spearman",
+        title=(
+            "Fig 3 — Spearman correlation of request parameters "
+            "(paper: token counts x batch size x sampling params all correlated)"
+        ),
+    )
+    write_report(results_dir, "fig3_correlation.txt", report)

@@ -1,0 +1,81 @@
+"""Fig 7: TTFT / ITL vs throughput, and ITL vs throughput-per-dollar.
+
+Paper setting: google/flan-t5-xxl across all feasible GPU profiles,
+1..128 users. Claims reproduced:
+
+* TTFT grows with the number of concurrent users (prefill is
+  compute-bound) and jumps for weak GPUs at high load (queueing);
+* ITL stays near-flat until memory saturates, then grows while
+  throughput stops improving; profiles with more memory saturate later
+  and reach higher throughput at lower ITL;
+* H100 profiles win on absolute throughput, but A100/T4 profiles win
+  on throughput per dollar (Fig 7c).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.hardware import aws_like_pricing, parse_profile
+from repro.utils.tables import format_table
+
+LLM = "google/flan-t5-xxl"
+
+
+def test_fig7_latency_throughput_tradeoffs(benchmark, full_dataset, results_dir):
+    pricing = aws_like_pricing()
+    ds = benchmark.pedantic(
+        lambda: full_dataset.filter(llm=LLM), rounds=1, iterations=1
+    )
+    profiles = ds.profiles()
+    assert profiles, "flan-t5-xxl must be feasible somewhere"
+
+    lines = []
+    peak = {}
+    for prof in profiles:
+        users, ttft = ds.series(LLM, prof, "ttft_median_s")
+        _, itl = ds.series(LLM, prof, "itl_median_s")
+        _, tput = ds.series(LLM, prof, "throughput_tokens_per_s")
+        cost = pricing.pod_cost(parse_profile(prof))
+        peak[prof] = (float(tput.max()), float(tput.max()) / cost, float(itl[0]))
+
+        # Fig 7a/b shape checks per profile: TTFT grows with load (small
+        # relative + absolute noise tolerance at light load).
+        assert np.all(np.diff(ttft) > -(0.25 * np.abs(ttft[:-1]) + 0.05)), prof
+        assert itl[-1] >= itl[0] * 0.95, f"{prof}: ITL should not improve with load"
+
+        rows = [
+            [int(u), t, i * 1e3, p, p / cost]
+            for u, t, i, p in zip(users, ttft, itl, tput)
+        ]
+        lines.append(
+            format_table(
+                ["users", "TTFT (s)", "ITL (ms)", "tokens/s", "tokens/s per $"],
+                rows,
+                floatfmt=".2f",
+                title=f"{prof} (pod cost ${cost:.2f}/h):",
+            )
+        )
+
+    # Fig 7c ordering claims.
+    h100_peak = max(v[0] for p, v in peak.items() if "H100" in p)
+    assert h100_peak == max(v[0] for v in peak.values()), (
+        "H100 must reach the highest absolute throughput"
+    )
+    h100_per_dollar = max(v[1] for p, v in peak.items() if "H100" in p)
+    cheap_per_dollar = max(
+        v[1] for p, v in peak.items() if ("T4" in p or "A100" in p)
+    )
+    assert cheap_per_dollar > h100_per_dollar, (
+        "A100/T4 profiles must beat H100 on throughput per dollar"
+    )
+    # The fastest single-user ITL belongs to an H100 profile (highest
+    # memory bandwidth; tensor-parallel H100 variants divide the traffic).
+    best_itl_profile = min(peak, key=lambda p: peak[p][2])
+    assert "H100" in best_itl_profile, best_itl_profile
+
+    report = (
+        f"Fig 7 — {LLM} across GPU profiles "
+        "(paper: H100 best absolute; A100/T4 best per dollar)\n\n"
+        + "\n\n".join(lines)
+    )
+    write_report(results_dir, "fig7_tradeoffs.txt", report)

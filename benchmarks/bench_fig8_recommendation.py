@@ -1,0 +1,97 @@
+"""Fig 8: recommendation quality — LLM-Pilot vs the §V-C baselines.
+
+Nested leave-one-LLM-out evaluation with U = 200 concurrent users and
+latency constraints L1 = 100ms (nTTFT), L2 = 50ms (ITL). Claims
+reproduced:
+
+* LLM-Pilot achieves the best S/O score of all methods (paper: ~80%
+  success rate with <20% average overspend);
+* the static policy is high-risk/high-reward: low overspend when it
+  succeeds but a much lower success rate;
+* the theoretical ideal scores S=1, O=0.
+
+Absolute per-method numbers differ from the paper (different testbed,
+simulated latencies); the ordering claims are asserted.
+"""
+
+from benchmarks.conftest import write_report
+from repro.baselines import (
+    MorphlingRecommender,
+    PARISRecommender,
+    PerfNetRecommender,
+    PerfNetV2Recommender,
+    RFRecommender,
+    SelectaRecommender,
+    StaticRecommender,
+)
+from repro.evaluation.harness import EvaluationConfig, evaluate_methods, ideal_score
+from repro.models import LLM_CATALOG
+from repro.recommendation.pilot import LLMPilotRecommender
+from repro.utils.tables import format_table
+
+#: Small leave-one-LLM-out tuning grid for LLM-Pilot (the paper tunes a
+#: larger grid; this keeps the benchmark tractable offline).
+PILOT_GRID = {
+    "n_estimators": [150],
+    "max_depth": [3, 5],
+    "learning_rate": [0.08],
+    "subsample": [0.9],
+}
+
+
+def test_fig8_recommendation_quality(benchmark, full_dataset, generator, results_dir):
+    cfg = EvaluationConfig(max_request_weight=generator.max_request_weight())
+    constraints = cfg.constraints
+    lookup = dict(LLM_CATALOG)
+
+    factories = {
+        "LLM-Pilot": lambda: LLMPilotRecommender(
+            constraints=constraints, tune=True, tuning_grid=PILOT_GRID
+        ),
+        "Static": lambda: StaticRecommender(
+            constraints=constraints, total_users=cfg.total_users
+        ),
+        "RF": lambda: RFRecommender(n_estimators=60),
+        "PARIS": lambda: PARISRecommender(n_estimators=60),
+        "Selecta": lambda: SelectaRecommender(n_epochs=80),
+        "Morphling": lambda: MorphlingRecommender(n_epochs=250),
+        "PerfNet": lambda: PerfNetRecommender(n_epochs=400),
+        "PerfNetV2": lambda: PerfNetV2Recommender(n_epochs=400),
+    }
+
+    scores = benchmark.pedantic(
+        lambda: evaluate_methods(factories, full_dataset, lookup, config=cfg),
+        rounds=1,
+        iterations=1,
+    )
+    ideal = ideal_score(full_dataset, config=cfg)
+
+    pilot = scores["LLM-Pilot"]
+    # Headline claims.
+    assert pilot.so == max(s.so for s in scores.values()), (
+        "LLM-Pilot must achieve the best S/O score: "
+        + ", ".join(f"{n}={s.so:.2f}" for n, s in scores.items())
+    )
+    assert pilot.success_rate >= 0.6
+    assert pilot.mean_overspend < 0.5
+    assert ideal.success_rate == 1.0 and ideal.so == 1.0
+    # Static policy: decent overspend when it succeeds, lower success rate.
+    static = scores["Static"]
+    assert static.success_rate <= pilot.success_rate
+
+    rows = [
+        [name, "yes" if ("PARIS" in name or "Selecta" in name or "Morphling" in name) else "no",
+         s.success_rate, s.mean_overspend, s.so]
+        for name, s in sorted(scores.items(), key=lambda kv: -kv[1].so)
+    ]
+    rows.append(["Ideal (*)", "-", ideal.success_rate, ideal.mean_overspend, ideal.so])
+    report = format_table(
+        ["method", "ref. meas.", "success rate S", "overspend O", "S/O score"],
+        rows,
+        floatfmt=".2f",
+        title=(
+            "Fig 8 — recommendation quality (U=200, L1=100ms nTTFT, "
+            "L2=50ms ITL; paper: LLM-Pilot S~0.8, O<0.2, best S/O)"
+        ),
+    )
+    write_report(results_dir, "fig8_recommendation.txt", report)

@@ -1,0 +1,68 @@
+"""§V-A size and sampling-speed comparison: generator vs trace replay.
+
+Paper claims: (a) the joint-bin collection is extremely sparse (46.5k
+non-empty bins vs 10.7e9 theoretically possible); (b) the generator is
+far smaller than the traces it models (<1MB vs 1.6GB); (c) sampling from
+the generator is ~35x faster than drawing raw requests from the traces
+(22ms vs 770ms per 1000 requests); (d) generating 1000 requests takes
+less than a typical single-token ITL.
+"""
+
+import time
+
+from benchmarks.conftest import write_report
+from repro.utils.tables import format_table
+from repro.workload import TraceReplaySampler
+
+
+def test_sec5a_generator_size_and_speed(benchmark, traces, generator, results_dir):
+    model = generator.model
+    replay = TraceReplaySampler(traces)
+
+    # (a) sparsity.
+    assert model.n_nonempty_bins < 1e-4 * model.n_theoretical_bins
+
+    # (b) storage.
+    assert generator.nbytes() < 0.5 * replay.nbytes()
+
+    # (c) speed: columnar sampling (the generator's native path) vs
+    # materializing raw requests from the trace store.
+    def sample_generator():
+        return model.sample(1000, rng=0)
+
+    def sample_replay():
+        return replay.sample_requests(1000, rng=0)
+
+    t_gen = benchmark.pedantic(sample_generator, rounds=20, iterations=1)
+    t0 = time.perf_counter()
+    reps = 5
+    for _ in range(reps):
+        sample_replay()
+    replay_ms = (time.perf_counter() - t0) / reps * 1e3
+
+    t0 = time.perf_counter()
+    for _ in range(20):
+        sample_generator()
+    gen_ms = (time.perf_counter() - t0) / 20 * 1e3
+
+    speedup = replay_ms / max(gen_ms, 1e-9)
+    assert speedup > 5, f"generator should be much faster, got {speedup:.1f}x"
+    # (d) 1000 requests in less than a typical ITL (~20ms+).
+    assert gen_ms < 20.0
+
+    rows = [
+        ["non-empty joint bins", f"{model.n_nonempty_bins:,}"],
+        ["theoretical bins", f"{model.n_theoretical_bins:.3g} (paper: 46.5k of 10.7e9)"],
+        ["sparsity", f"{model.sparsity:.2e}"],
+        ["generator size", f"{generator.nbytes() / 1e6:.2f} MB (paper: <1MB)"],
+        ["trace-store size", f"{replay.nbytes() / 1e6:.1f} MB (paper: 1.6GB @17.3M reqs)"],
+        ["sample 1000 (generator)", f"{gen_ms:.2f} ms (paper: 22ms)"],
+        ["sample 1000 (trace replay)", f"{replay_ms:.1f} ms (paper: 770ms)"],
+        ["speedup", f"{speedup:.1f}x (paper: 35x)"],
+    ]
+    report = format_table(
+        ["quantity", "value"],
+        rows,
+        title="Sec V-A — workload-generator size and sampling speed:",
+    )
+    write_report(results_dir, "sec5a_generator_size_speed.txt", report)

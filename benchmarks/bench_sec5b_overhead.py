@@ -1,0 +1,41 @@
+"""§V-B characterization overhead estimate.
+
+Paper claim: collecting a dataset of the paper's size takes about 8
+hours on the cluster — roughly 5h of batch-weight tuning (~30min/LLM)
+plus 3h of load testing (~20min/LLM), parallelized over GPU profiles.
+We replay the same accounting over the simulated campaign.
+"""
+
+from benchmarks.conftest import write_report
+from repro.utils.tables import format_table
+
+
+def test_sec5b_characterization_overhead(benchmark, full_outcome, results_dir):
+    outcome = benchmark.pedantic(lambda: full_outcome, rounds=1, iterations=1)
+
+    total_h = outcome.total_overhead_s / 3600.0
+    serial_h = outcome.serial_overhead_s / 3600.0
+    assert 1.0 < total_h < 24.0, f"parallel overhead {total_h:.1f}h implausible"
+    assert serial_h > total_h
+    assert len(outcome.tuned_weights) >= 60  # feasible pairs characterized
+
+    rows = [
+        ["feasible (LLM, profile) pairs", f"{len(outcome.tuned_weights)}"],
+        ["measurements collected", f"{len(outcome.dataset)}"],
+        [
+            "overhead, parallelized over GPU profiles",
+            f"{total_h:.1f} h (paper: ~8h)",
+        ],
+        ["overhead, fully serial", f"{serial_h:.1f} h"],
+    ]
+    per_profile = sorted(
+        outcome.overhead_by_profile_s.items(), key=lambda kv: -kv[1]
+    )[:5]
+    for name, seconds in per_profile:
+        rows.append([f"  busiest profile: {name}", f"{seconds / 3600:.1f} h"])
+    report = format_table(
+        ["quantity", "value"],
+        rows,
+        title="Sec V-B — characterization overhead accounting:",
+    )
+    write_report(results_dir, "sec5b_overhead.txt", report)

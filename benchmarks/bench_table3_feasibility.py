@@ -1,0 +1,89 @@
+"""Table III: feasibility of LLM x GPU-profile combinations.
+
+Paper legend: data collected (Y), memory too small for the LLM plus the
+workload generator's largest requests (x), software/hardware gates (-).
+Claims reproduced: the full 10x14 grid, with the paper's structural
+facts — flan-t5-xl fits everywhere; TGIS tensor-parallel gates for
+mpt/mt0/codegen2; flash-attention models unavailable on V100; the
+single-GPU small-memory columns mostly infeasible for 13B+ models.
+"""
+
+from benchmarks.conftest import write_report
+from repro.characterization import Feasibility
+from repro.hardware import default_profiles
+from repro.models import LLM_CATALOG
+from repro.utils.tables import format_matrix
+
+#: The paper's Table III grid (Y=checkmark, x=memory, -=unsupported),
+#: columns in default_profiles() order: H100 x1/2/4, A100-40 x1/2/4,
+#: A10 x1/2, T4 x1/2/4, V100 x1/2/4.
+PAPER_TABLE3 = {
+    "google/flan-t5-xl":       "YYY YYY YY YYY YYY",
+    "google/flan-t5-xxl":      "YYY YYY xY xxY xxY",
+    "google/flan-ul2":         "YYY xYY xx xxx xxx",
+    "ibm/mpt-7b-instruct2":    "Y-- Y-- x- x-- x--",
+    "bigscience/mt0-xxl":      "Y-- Y-- x- x-- x--",
+    "Salesforce/codegen2-16B": "Y-- x-- x- x-- x--",
+    "Llama-2-7b":              "YYY YYY YY xYY ---",
+    "Llama-2-13b":             "YYY YYY xY xxY ---",
+    "EleutherAI/gpt-neox-20b": "YYY xYY xY xxY ---",
+    "bigcode/starcoder":       "YYY YYY xY xxY ---",
+}
+
+
+def test_table3_feasibility_matrix(benchmark, char_tool, results_dir):
+    llms = list(LLM_CATALOG.values())
+    profiles = default_profiles()
+    matrix = benchmark.pedantic(
+        lambda: char_tool.feasibility_matrix(llms, profiles),
+        rounds=1,
+        iterations=1,
+    )
+
+    total = 0
+    agree = 0
+    rows = []
+    for llm in llms:
+        paper_row = PAPER_TABLE3[llm.name].replace(" ", "")
+        ours_row = []
+        for j, p in enumerate(profiles):
+            ours = matrix[(llm.name, p.name)].symbol
+            ours_row.append(ours)
+            total += 1
+            agree += ours == paper_row[j]
+        rows.append(ours_row)
+
+    agreement = agree / total
+    # The paper's grid is measured on real hardware; our memory model
+    # must agree on the large majority of the 140 cells.
+    assert agreement > 0.85, f"Table III agreement only {agreement:.2f}"
+
+    # Structural facts.
+    assert all(
+        matrix[("google/flan-t5-xl", p.name)] is Feasibility.OK for p in profiles
+    )
+    for name in ("ibm/mpt-7b-instruct2", "bigscience/mt0-xxl", "Salesforce/codegen2-16B"):
+        assert all(
+            matrix[(name, p.name)] is Feasibility.UNSUPPORTED
+            for p in profiles
+            if p.count > 1
+        )
+    for name in ("Llama-2-7b", "Llama-2-13b", "EleutherAI/gpt-neox-20b", "bigcode/starcoder"):
+        assert all(
+            matrix[(name, p.name)] is Feasibility.UNSUPPORTED
+            for p in profiles
+            if p.gpu.name == "V100-16GB"
+        )
+
+    report = format_matrix(
+        [llm.name for llm in llms],
+        [p.name.replace("-80GB", "").replace("-40GB", "").replace("-24GB", "").replace("-16GB", "") for p in profiles],
+        rows,
+        corner="LLM \\ profile",
+        title=(
+            "Table III — feasibility (Y data collected, x out-of-memory, "
+            f"- software/hardware gate); cell agreement with paper: "
+            f"{agreement * 100:.0f}%"
+        ),
+    )
+    write_report(results_dir, "table3_feasibility.txt", report)

@@ -1,0 +1,70 @@
+"""Shared fixtures for the benchmark harness.
+
+The heavy artifacts (trace collection, workload generator, the full
+10-LLM x 14-profile characterization dataset) are built once per session;
+every per-table/figure benchmark consumes them. Each benchmark writes a
+plain-text report with the same rows/series the paper presents to
+``benchmarks/results/``.
+"""
+
+import os
+
+import pytest
+
+from repro.characterization import (
+    CharacterizationConfig,
+    CharacterizationTool,
+)
+from repro.models import LLM_CATALOG
+from repro.traces import TraceConfig, TraceSynthesizer
+from repro.workload import WorkloadGenerator
+
+#: Experiment duration for characterization runs (virtual seconds). The
+#: paper uses 120s; 60s keeps the suite fast while preserving the shapes.
+BENCH_DURATION_S = 60.0
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_report(results_dir: str, name: str, text: str) -> None:
+    """Persist a benchmark's report table and echo it for -s runs."""
+    path = os.path.join(results_dir, name)
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print(f"\n{text}\n[report written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def traces():
+    config = TraceConfig(n_requests=150_000)
+    return TraceSynthesizer(config=config, seed=BENCH_SEED).generate()
+
+
+@pytest.fixture(scope="session")
+def generator(traces):
+    return WorkloadGenerator.fit(traces)
+
+
+@pytest.fixture(scope="session")
+def char_tool(generator):
+    return CharacterizationTool(
+        generator,
+        CharacterizationConfig(duration_s=BENCH_DURATION_S, seed=BENCH_SEED),
+    )
+
+
+@pytest.fixture(scope="session")
+def full_outcome(char_tool):
+    """The full characterization campaign: 10 LLMs x 14 GPU profiles."""
+    return char_tool.run(list(LLM_CATALOG.values()))
+
+
+@pytest.fixture(scope="session")
+def full_dataset(full_outcome):
+    return full_outcome.dataset

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Capacity planning: pod scaling and latency/throughput trade-offs.
+
+Two production questions the paper's machinery answers directly:
+
+1. *How many pods do I need as my user base grows?* — replicated
+   deployments scale near-perfectly with the pod count (paper §II-C,
+   Table I), so per-pod throughput depends only on the users-per-pod
+   ratio.
+2. *Which GPU gives the best latency/throughput/cost trade-off?* —
+   sweep the load ladder per profile and compare ITL against throughput
+   per dollar (paper Fig 7).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import quickstart_generator
+from repro.characterization import (
+    CharacterizationConfig,
+    CharacterizationTool,
+    check_feasibility,
+)
+from repro.cluster import Deployment
+from repro.hardware import aws_like_pricing, parse_profile
+from repro.models import get_llm
+from repro.utils.tables import format_table
+
+LLM = "google/flan-t5-xxl"
+SCALING_PROFILE = "1xA100-40GB"
+TRADEOFF_PROFILES = ("1xH100-80GB", "1xA100-40GB", "2xA10-24GB", "4xT4-16GB")
+
+
+def pod_scaling(generator) -> None:
+    llm = get_llm(LLM)
+    profile = parse_profile(SCALING_PROFILE)
+    report = check_feasibility(llm, profile, generator.max_request_weight())
+    deployment = Deployment(
+        llm=llm,
+        profile=profile,
+        n_pods=1,
+        max_batch_weight=report.max_batch_weight,
+        generator=generator,
+        seed=0,
+    )
+    rows = []
+    for pods in (1, 2, 4):
+        for users in (8, 16, 32):
+            res = deployment.scale(pods).run_load_test(users, duration_s=30.0)
+            rows.append(
+                [pods, users, users / pods, res.mean_throughput_per_pod,
+                 res.total_throughput]
+            )
+    print(
+        format_table(
+            ["pods", "users", "users/pod", "tokens/s per pod", "total tokens/s"],
+            rows,
+            floatfmt=".1f",
+            title=f"Pod scaling for {LLM} on {SCALING_PROFILE}:",
+        )
+    )
+    print(
+        "Rows with equal users/pod show near-equal per-pod throughput — "
+        "the near-perfect scaling of Table I.\n"
+    )
+
+
+def tradeoffs(generator) -> None:
+    llm = get_llm(LLM)
+    pricing = aws_like_pricing()
+    tool = CharacterizationTool(
+        generator,
+        CharacterizationConfig(duration_s=30.0, user_counts=(1, 8, 32, 128), seed=0),
+    )
+    rows = []
+    for name in TRADEOFF_PROFILES:
+        profile = parse_profile(name)
+        report, records = tool.characterize_pair(llm, profile)
+        if not report.feasible:
+            continue
+        cost = pricing.pod_cost(profile)
+        peak = max(records, key=lambda r: r.throughput_tokens_per_s)
+        rows.append(
+            [
+                name,
+                peak.throughput_tokens_per_s,
+                peak.itl_median_s * 1e3,
+                cost,
+                peak.throughput_tokens_per_s / cost,
+            ]
+        )
+    rows.sort(key=lambda r: -r[-1])
+    print(
+        format_table(
+            ["profile", "peak tokens/s", "ITL @peak (ms)", "$/h", "tokens/s per $"],
+            rows,
+            floatfmt=".1f",
+            title=f"Latency / throughput-per-dollar trade-off for {LLM} (Fig 7c):",
+        )
+    )
+    print(
+        "High-memory GPUs win on absolute throughput and latency; "
+        "cheaper GPUs often win per dollar — unless the SLA is tight."
+    )
+
+
+def main() -> None:
+    generator = quickstart_generator(n_requests=60_000, seed=0)
+    pod_scaling(generator)
+    tradeoffs(generator)
+
+
+if __name__ == "__main__":
+    main()

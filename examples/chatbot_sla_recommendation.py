@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Cluster-user workflow: GPU recommendation for an unseen chatbot LLM.
+
+A user wants to deploy a new LLM chatbot service (tight TTFT — the
+response must start quickly; relaxed ITL — tokens only need to beat
+human reading speed; paper §II-A) for 200 concurrent users. The GPU
+recommendation tool (paper §IV) trains the weighted, monotone GBM
+performance model on historical characterization data of *other* LLMs
+and recommends the cheapest (GPU profile, pod count) satisfying the SLA
+— without ever benchmarking the new LLM.
+
+Run:  python examples/chatbot_sla_recommendation.py
+"""
+
+from repro import quickstart_generator
+from repro.characterization import CharacterizationConfig, CharacterizationTool
+from repro.hardware import aws_like_pricing, default_profiles
+from repro.models import LLM_CATALOG, get_llm
+from repro.recommendation import (
+    GPURecommendationTool,
+    LatencyConstraints,
+    PerfModelHyperparams,
+)
+from repro.recommendation.pilot import LLMPilotRecommender
+from repro.utils.tables import format_table
+
+UNSEEN_LLM = "Llama-2-13b"  # the LLM the user wants to deploy
+TOTAL_USERS = 200
+# Chatbot SLA: responsive first token, relaxed inter-token latency.
+CONSTRAINTS = LatencyConstraints(nttft_s=0.050, itl_s=0.080)
+
+
+def main() -> None:
+    generator = quickstart_generator(n_requests=60_000, seed=0)
+
+    # --- offline: characterize the *other* LLMs (historical data) ---------
+    train_llms = [m for name, m in LLM_CATALOG.items() if name != UNSEEN_LLM]
+    print(f"Building historical dataset from {len(train_llms)} training LLMs ...")
+    tool = CharacterizationTool(
+        generator, CharacterizationConfig(duration_s=40.0, seed=0)
+    )
+    outcome = tool.run(train_llms)
+    print(f"{len(outcome.dataset)} historical measurements collected.\n")
+
+    # --- online: recommend for the unseen LLM ------------------------------
+    pilot = LLMPilotRecommender(
+        constraints=CONSTRAINTS,
+        hyperparams=PerfModelHyperparams(n_estimators=200, max_depth=4),
+    )
+    pilot.fit(outcome.dataset, dict(LLM_CATALOG))
+
+    recommender = GPURecommendationTool(
+        perf_model=pilot.model_,
+        pricing=aws_like_pricing(),
+        constraints=CONSTRAINTS,
+        max_request_weight=generator.max_request_weight(),
+    )
+    unseen = get_llm(UNSEEN_LLM)
+    rec = recommender.recommend(unseen, default_profiles(), total_users=TOTAL_USERS)
+
+    print(
+        f"SLA: nTTFT <= {CONSTRAINTS.nttft_s * 1e3:.0f} ms/token, "
+        f"ITL <= {CONSTRAINTS.itl_s * 1e3:.0f} ms, U = {TOTAL_USERS} users"
+    )
+    rows = [
+        [a.profile, a.umax, a.n_pods, a.pod_cost, a.total_cost]
+        for a in sorted(rec.assessments, key=lambda a: a.total_cost)
+    ]
+    print(
+        format_table(
+            ["profile", "pred. umax/pod", "pods", "$/h per pod", "$/h total"],
+            rows,
+            floatfmt=".2f",
+            title=f"\nAssessments for unseen LLM {unseen.name}:",
+        )
+    )
+    if rec.feasible:
+        print(
+            f"\nRecommendation: {rec.n_pods} pod(s) on {rec.profile} "
+            f"at ${rec.total_cost:.2f}/hour."
+        )
+    else:
+        print("\nNo profile can satisfy the SLA — relax the constraints.")
+
+
+if __name__ == "__main__":
+    main()

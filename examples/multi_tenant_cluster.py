@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Multi-tenancy: competing tenants on a shared GPU cluster.
+
+The paper's conclusion names multi-tenancy as LLM-Pilot's next step:
+multiple users compete to deploy LLM inference services on the same
+hardware. This example composes the reproduction's pieces end to end:
+
+1. characterize historical LLMs (offline),
+2. produce per-tenant ranked deployment options with the recommendation
+   tool (each tenant wants a different unseen LLM and SLA),
+3. schedule all tenants onto a finite GPU inventory, comparing the
+   greedy first-come-first-served policy against the global best-fit.
+
+Run:  python examples/multi_tenant_cluster.py
+"""
+
+from repro import quickstart_generator
+from repro.characterization import CharacterizationConfig, CharacterizationTool
+from repro.cluster import ClusterInventory, MultiTenantScheduler, TenantRequest
+from repro.hardware import aws_like_pricing, default_profiles
+from repro.models import LLM_CATALOG, get_llm
+from repro.recommendation import (
+    GPURecommendationTool,
+    LatencyConstraints,
+    PerfModelHyperparams,
+)
+from repro.recommendation.pilot import LLMPilotRecommender
+from repro.utils.tables import format_table
+
+TENANTS = [
+    # (name, unseen LLM, users, nTTFT constraint, ITL constraint)
+    ("chatbot-team", "Llama-2-13b", 200, 0.050, 0.080),
+    ("code-assist", "bigcode/starcoder", 100, 0.100, 0.050),
+    ("summarizer", "google/flan-t5-xxl", 150, 0.200, 0.040),
+]
+
+INVENTORY = {"H100-80GB": 4, "A100-40GB": 8, "A10-24GB": 8, "T4-16GB": 12,
+             "V100-16GB": 8}
+
+
+def main() -> None:
+    generator = quickstart_generator(n_requests=60_000, seed=0)
+    pricing = aws_like_pricing()
+    profiles = default_profiles()
+    lookup = dict(LLM_CATALOG)
+
+    requests = []
+    for tenant, llm_name, users, l1, l2 in TENANTS:
+        constraints = LatencyConstraints(nttft_s=l1, itl_s=l2)
+        train_llms = [m for n, m in LLM_CATALOG.items() if n != llm_name]
+        tool = CharacterizationTool(
+            generator, CharacterizationConfig(duration_s=30.0, seed=0)
+        )
+        dataset = tool.run(train_llms).dataset
+
+        pilot = LLMPilotRecommender(
+            constraints=constraints,
+            hyperparams=PerfModelHyperparams(n_estimators=150),
+        )
+        pilot.fit(dataset, lookup)
+        recommender = GPURecommendationTool(
+            perf_model=pilot.model_,
+            pricing=pricing,
+            constraints=constraints,
+            max_request_weight=generator.max_request_weight(),
+        )
+        rec = recommender.recommend(get_llm(llm_name), profiles, total_users=users)
+        requests.append(TenantRequest.from_recommendation(tenant, rec))
+        print(
+            f"{tenant}: {len(requests[-1].options)} feasible options, "
+            f"standalone choice {rec.profile} x{rec.n_pods} (${rec.total_cost:.2f}/h)"
+        )
+
+    for policy in ("greedy", "best_fit"):
+        inventory = ClusterInventory(capacity=dict(INVENTORY))
+        scheduler = MultiTenantScheduler(inventory)
+        result = (
+            scheduler.schedule_greedy(requests)
+            if policy == "greedy"
+            else scheduler.schedule_best_fit(requests)
+        )
+        rows = [
+            [p.tenant, p.profile, p.n_pods, p.total_cost] for p in result.placements
+        ]
+        for tenant in result.unplaced:
+            rows.append([tenant, "(unplaced)", 0, float("nan")])
+        print(
+            format_table(
+                ["tenant", "profile", "pods", "$/h"],
+                rows,
+                floatfmt=".2f",
+                title=(
+                    f"\n{policy} schedule — total ${result.total_cost:.2f}/h, "
+                    f"placed {result.n_placed}/{len(requests)}:"
+                ),
+            )
+        )
+        util = inventory.utilization()
+        print("GPU utilization: " + ", ".join(f"{k} {v * 100:.0f}%" for k, v in util.items()))
+
+
+if __name__ == "__main__":
+    main()

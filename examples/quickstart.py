@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: characterize one LLM on one GPU profile.
+
+Walks the full LLM-Pilot §III pipeline on a single (LLM, GPU profile)
+combination:
+
+1. synthesize production-like traces and fit the workload generator,
+2. check feasibility and tune the maximum batch weight (binary search
+   against OOM corner cases),
+3. run the load-testing ladder (1..128 concurrent users),
+4. print the TTFT / nTTFT / ITL / throughput table.
+
+Run:  python examples/quickstart.py [llm-name] [profile-name]
+"""
+
+import sys
+import time
+
+from repro import quickstart_generator
+from repro.characterization import (
+    CharacterizationConfig,
+    CharacterizationTool,
+)
+from repro.hardware import parse_profile
+from repro.models import get_llm, list_llms
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    llm_name = sys.argv[1] if len(sys.argv) > 1 else "Llama-2-13b"
+    profile_name = sys.argv[2] if len(sys.argv) > 2 else "1xA100-40GB"
+    llm = get_llm(llm_name)
+    profile = parse_profile(profile_name)
+
+    print(f"Known LLMs: {', '.join(list_llms())}\n")
+    print(f"Characterizing {llm.name} on {profile.name} ...")
+
+    t0 = time.time()
+    generator = quickstart_generator(n_requests=60_000, seed=0)
+    print(
+        f"Workload generator fitted in {time.time() - t0:.1f}s: "
+        f"{generator.model.n_nonempty_bins:,} non-empty joint bins "
+        f"({generator.nbytes() / 1e6:.2f} MB), "
+        f"max request weight {generator.max_request_weight():,} tokens"
+    )
+
+    tool = CharacterizationTool(
+        generator, CharacterizationConfig(duration_s=60.0, seed=0)
+    )
+    t0 = time.time()
+    report, records = tool.characterize_pair(llm, profile)
+    if not report.feasible:
+        print(f"Combination infeasible ({report.status.name}): {report.reason}")
+        return
+
+    print(
+        f"Tuned maximum batch weight: {report.max_batch_weight:,} tokens; "
+        f"load testing took {time.time() - t0:.1f}s wall-clock\n"
+    )
+    rows = [
+        [
+            r.concurrent_users,
+            r.ttft_median_s,
+            r.nttft_median_s * 1e3,
+            r.itl_median_s * 1e3,
+            r.throughput_tokens_per_s,
+        ]
+        for r in records
+    ]
+    print(
+        format_table(
+            ["users", "TTFT (s)", "nTTFT (ms)", "ITL (ms)", "tokens/s"],
+            rows,
+            floatfmt=".2f",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

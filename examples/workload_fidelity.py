@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Workload-generator fidelity study (paper §V-A).
+
+Demonstrates the three properties the paper evaluates:
+
+1. the joint binned model preserves the marginal CDFs of request
+   parameters (Fig 6),
+2. ignoring cross-parameter correlation (independent marginals) distorts
+   measured performance,
+3. the generator is far smaller and faster than replaying the traces.
+
+Run:  python examples/workload_fidelity.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import compare_marginals, spearman_matrix
+from repro.characterization.loadtest import run_load_test
+from repro.hardware import parse_profile
+from repro.inference import ContinuousBatchingEngine
+from repro.models import get_llm
+from repro.traces import synthesize_traces
+from repro.utils.tables import format_table
+from repro.workload import TraceReplaySampler, WorkloadGenerator
+
+
+def main() -> None:
+    traces = synthesize_traces(n_requests=100_000, seed=0)
+    generator = WorkloadGenerator.fit(traces)
+    model = generator.model
+
+    # --- fidelity -------------------------------------------------------
+    comparisons = compare_marginals(
+        traces, generator, params=("input_tokens", "batch_size", "temperature")
+    )
+    rows = [[c.param, c.ks_distance] for c in comparisons.values()]
+    print(format_table(["parameter", "KS distance"], rows, floatfmt=".4f",
+                       title="Marginal CDF fidelity (Fig 6):"))
+
+    corr, params = spearman_matrix(traces)
+    i, o = params.index("input_tokens"), params.index("output_tokens")
+    joint = model.sample(50_000, rng=1)
+    indep = model.sample(50_000, rng=1, independent=True)
+    from scipy import stats
+    rho_joint = stats.spearmanr(joint["input_tokens"], joint["output_tokens"]).statistic
+    rho_indep = stats.spearmanr(indep["input_tokens"], indep["output_tokens"]).statistic
+    print(
+        f"\nSpearman(input, output): traces {corr[i, o]:+.3f}, "
+        f"joint sampling {rho_joint:+.3f}, independent sampling {rho_indep:+.3f}"
+    )
+
+    # --- performance impact of correlation (§V-A) -------------------------
+    llm = get_llm("Llama-2-13b")
+    profile = parse_profile("1xA100-80GB")
+    W = 60_000
+    results = {}
+    for mode in ("joint", "independent"):
+        gen = WorkloadGenerator(model, independent=(mode == "independent"))
+        metrics = []
+        for users in (8, 32, 128):
+            engine = ContinuousBatchingEngine(llm, profile, max_batch_weight=W, seed=2)
+            res = run_load_test(engine, gen, users, duration_s=40.0, seed=4)
+            metrics.append(res)
+        results[mode] = metrics
+    rows = []
+    for k, users in enumerate((8, 32, 128)):
+        j, ind = results["joint"][k], results["independent"][k]
+        rows.append([
+            users,
+            j.throughput_tokens_per_s, ind.throughput_tokens_per_s,
+            j.ttft_median_s * 1e3, ind.ttft_median_s * 1e3,
+        ])
+    print(format_table(
+        ["users", "tput joint", "tput indep", "TTFT joint (ms)", "TTFT indep (ms)"],
+        rows, floatfmt=".1f",
+        title="\nJoint vs independent sampling on Llama-2-13b / 1xA100-80GB:",
+    ))
+
+    # --- size and speed (§V-A) ---------------------------------------------
+    replay = TraceReplaySampler(traces)
+    t0 = time.time()
+    for _ in range(5):
+        replay.sample_requests(1000, rng=0)
+    t_replay = (time.time() - t0) / 5
+    t0 = time.time()
+    for _ in range(5):
+        generator.sample_requests(1000, rng=0)
+    t_gen = (time.time() - t0) / 5
+    print(
+        f"\nStorage: generator {generator.nbytes() / 1e6:.2f} MB vs "
+        f"traces {traces.nbytes() / 1e6:.1f} MB "
+        f"({traces.nbytes() / generator.nbytes():.0f}x smaller)"
+    )
+    print(
+        f"Sampling 1000 requests: generator {t_gen * 1e3:.1f} ms vs "
+        f"trace replay {t_replay * 1e3:.1f} ms "
+        f"({t_replay / max(t_gen, 1e-9):.1f}x faster)"
+    )
+    print(
+        f"Joint bins: {model.n_nonempty_bins:,} non-empty of "
+        f"{model.n_theoretical_bins:.3g} theoretically possible "
+        f"(sparsity {model.sparsity:.2e})"
+    )
+
+
+if __name__ == "__main__":
+    main()

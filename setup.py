@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` / legacy editable installs
+in offline environments that lack the `wheel` package (PEP 660 editable
+installs require it). Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Reproduction of **LLM-Pilot: Characterize and Optimize Performance of
+your LLM Inference Services** (Lazuka, Anghel, Parnell — SC 2024).
+
+Package layout
+--------------
+
+* :mod:`repro.hardware` — GPU catalog, profiles, pricing.
+* :mod:`repro.models` — LLM architecture catalog (Table III's 10 LLMs).
+* :mod:`repro.traces` — synthetic production-trace substrate (Table II).
+* :mod:`repro.workload` — the workload generator (§III-B).
+* :mod:`repro.inference` — continuous-batching inference-server simulator.
+* :mod:`repro.cluster` — k8s-like deployments / pods / load balancing.
+* :mod:`repro.characterization` — the performance characterization tool (§III).
+* :mod:`repro.ml` — from-scratch trees / forests / monotone GBM / MLP / CF.
+* :mod:`repro.recommendation` — the GPU recommendation tool (§IV).
+* :mod:`repro.baselines` — Static, RF, PARIS, Selecta, Morphling, PerfNet(V2).
+* :mod:`repro.evaluation` — Eq. (5)-(7) metrics + nested CV harness (Fig 8).
+* :mod:`repro.analysis` — correlation / importance / CDF studies.
+
+Quickstart
+----------
+
+>>> from repro import quickstart_generator
+>>> from repro.models import get_llm
+>>> from repro.hardware import parse_profile
+>>> from repro.characterization import CharacterizationTool
+>>> gen = quickstart_generator(n_requests=30_000, seed=0)
+>>> tool = CharacterizationTool(gen)
+>>> report, records = tool.characterize_pair(
+...     get_llm("Llama-2-7b"), parse_profile("1xA100-40GB"))
+"""
+
+from repro.traces import synthesize_traces, TraceConfig
+from repro.workload import WorkloadGenerator
+
+__version__ = "1.0.0"
+
+__all__ = ["quickstart_generator", "synthesize_traces", "WorkloadGenerator", "__version__"]
+
+
+def quickstart_generator(n_requests: int = 100_000, seed: int = 0) -> WorkloadGenerator:
+    """Synthesize traces and fit a workload generator in one call."""
+    traces = synthesize_traces(n_requests=n_requests, seed=seed)
+    return WorkloadGenerator.fit(traces)

@@ -1,0 +1,40 @@
+"""Spearman rank correlation between request parameters (paper Fig 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.traces.schema import TraceDataset
+
+__all__ = ["spearman_matrix", "DEFAULT_CORRELATION_PARAMS"]
+
+#: The parameters the paper's Fig 3 correlates: the latency-dominant ones.
+DEFAULT_CORRELATION_PARAMS = (
+    "input_tokens",
+    "output_tokens",
+    "batch_size",
+    "decoding_method",
+    "temperature",
+    "top_k",
+    "top_p",
+    "max_new_tokens",
+)
+
+
+def spearman_matrix(
+    traces: TraceDataset, params: tuple[str, ...] = DEFAULT_CORRELATION_PARAMS
+) -> tuple[np.ndarray, list[str]]:
+    """(correlation matrix, parameter names) over the trace collection."""
+    present = [p for p in params if p in traces.columns]
+    if len(present) < 2:
+        raise ValueError("need at least two present parameters")
+    X = traces.param_matrix(present)
+    corr, _ = stats.spearmanr(X)
+    corr = np.atleast_2d(np.asarray(corr, dtype=float))
+    # spearmanr collapses to a scalar for 2 columns.
+    if corr.shape != (len(present), len(present)):
+        full = np.eye(len(present))
+        full[0, 1] = full[1, 0] = float(corr.ravel()[0])
+        corr = full
+    return corr, present

@@ -1,0 +1,21 @@
+"""Recommendation baselines from the paper's §V-C evaluation."""
+
+from repro.baselines.base import BaseRecommender, REFERENCE_PROFILES
+from repro.baselines.static import StaticRecommender
+from repro.baselines.rf import RFRecommender
+from repro.baselines.paris import PARISRecommender
+from repro.baselines.selecta import SelectaRecommender
+from repro.baselines.perfnet import PerfNetRecommender, PerfNetV2Recommender
+from repro.baselines.morphling import MorphlingRecommender
+
+__all__ = [
+    "BaseRecommender",
+    "REFERENCE_PROFILES",
+    "StaticRecommender",
+    "RFRecommender",
+    "PARISRecommender",
+    "SelectaRecommender",
+    "PerfNetRecommender",
+    "PerfNetV2Recommender",
+    "MorphlingRecommender",
+]

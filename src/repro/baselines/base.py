@@ -1,0 +1,80 @@
+"""Common interface for recommendation methods (LLM-Pilot and baselines).
+
+Every method fits on the historical characterization data of the
+*training* LLMs, optionally observes reference measurements of the unseen
+LLM on two reference GPU profiles (PARIS, Selecta and Morphling do; the
+paper marks them with a triangle in Fig 8), predicts latencies, and
+recommends through the shared Eq. (1)-(3) machinery.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.characterization.dataset import PerfDataset
+from repro.characterization.loadtest import DEFAULT_USER_COUNTS
+from repro.hardware.pricing import PricingTable
+from repro.models.llm import LLMSpec
+from repro.recommendation.recommender import (
+    Recommendation,
+    recommend_from_predictions,
+)
+from repro.recommendation.weights import LatencyConstraints
+
+__all__ = ["BaseRecommender", "REFERENCE_PROFILES"]
+
+#: The paper's reference profiles: the weakest and the most powerful
+#: in terms of memory and compute (§V-C).
+REFERENCE_PROFILES: tuple[str, str] = ("1xT4-16GB", "4xH100-80GB")
+
+
+class BaseRecommender(abc.ABC):
+    """Interface shared by LLM-Pilot and all §V-C baselines."""
+
+    #: Display name used in the Fig 8 reproduction.
+    name: str = "base"
+    #: Whether the method performs reference measurements of the unseen LLM.
+    requires_reference: bool = False
+    reference_profiles: tuple[str, str] = REFERENCE_PROFILES
+
+    def __init__(self, user_counts: Sequence[int] = DEFAULT_USER_COUNTS) -> None:
+        self.user_counts = list(user_counts)
+
+    @abc.abstractmethod
+    def fit(self, train: PerfDataset, llm_lookup: dict[str, LLMSpec]) -> None:
+        """Train on the historical characterization data."""
+
+    def observe_reference(self, llm: LLMSpec, reference: PerfDataset) -> None:
+        """Receive the unseen LLM's measurements on the reference profiles.
+
+        Only called when ``requires_reference`` is True.
+        """
+        raise NotImplementedError(f"{self.name} does not use reference data")
+
+    @abc.abstractmethod
+    def predict_latencies(
+        self, llm: LLMSpec, profile: str, user_counts: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(nTTFT, ITL) predictions for one profile across user counts."""
+
+    def recommend(
+        self,
+        llm: LLMSpec,
+        profiles: Sequence[str],
+        pricing: PricingTable,
+        constraints: LatencyConstraints,
+        total_users: int,
+    ) -> Recommendation:
+        """Default Eq. (1)-(3) recommendation from predicted latencies."""
+        return recommend_from_predictions(
+            predictor=self.predict_latencies,
+            llm=llm,
+            profiles=profiles,
+            pricing=pricing,
+            constraints=constraints,
+            total_users=total_users,
+            user_counts=self.user_counts,
+        )

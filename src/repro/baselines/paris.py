@@ -1,0 +1,98 @@
+"""PARIS baseline (Yadwadkar et al., SoCC'17) adapted to GPU profiles.
+
+PARIS measures the unseen application on two reference VM types (here:
+the weakest and strongest GPU profiles) and feeds those measurements,
+together with the application/VM features, into a random-forest
+predictor. Reference measurements comprise nTTFT, ITL and throughput
+across all user counts on both reference profiles (paper §V-C).
+
+Training LLMs use their own reference-profile rows as the reference
+features; missing entries (reference profile infeasible for that LLM —
+common for 1xT4) are imputed with the training-column median.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.rf import RFRecommender
+from repro.characterization.dataset import PerfDataset
+from repro.models.llm import LLMSpec
+
+__all__ = ["PARISRecommender"]
+
+_REF_METRICS = ("nttft_median_s", "itl_median_s", "throughput_tokens_per_s")
+
+
+class PARISRecommender(RFRecommender):
+    """RF + reference measurements on the weakest/strongest profiles."""
+
+    name = "PARIS"
+    requires_reference = True
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._ref_medians: np.ndarray | None = None
+        self._ref_features: dict[str, np.ndarray] = {}
+        self._test_ref: np.ndarray | None = None
+        self._test_llm: str | None = None
+
+    # ---- reference feature construction ------------------------------------
+
+    def _reference_vector(self, data: PerfDataset, llm: str) -> np.ndarray:
+        """Flatten the LLM's reference-profile measurements (NaN = missing)."""
+        vec = []
+        for prof in self.reference_profiles:
+            for metric in _REF_METRICS:
+                users, values = data.series(llm, prof, metric)
+                by_user = dict(zip(users.tolist(), values.tolist()))
+                for u in self.user_counts:
+                    vec.append(by_user.get(u, float("nan")))
+        return np.array(vec)
+
+    def fit(self, train: PerfDataset, llm_lookup: dict[str, LLMSpec]) -> None:
+        self._ref_features = {
+            name: self._reference_vector(train, name) for name in train.llms()
+        }
+        stacked = np.vstack(list(self._ref_features.values()))
+        with warnings.catch_warnings():
+            # Columns can be all-NaN when a reference profile hosts none of
+            # the training LLMs (common for 1xT4); they impute to 0 below.
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            medians = np.nanmedian(stacked, axis=0)
+        self._ref_medians = np.where(np.isfinite(medians), medians, 0.0)
+        super().fit(train, llm_lookup)
+
+    def _training_matrix(self, train, llm_lookup):
+        X, y1, y2 = super()._training_matrix(train, llm_lookup)
+        refs = np.vstack(
+            [self._impute(self._ref_features[r.llm]) for r in train.records]
+        )
+        return np.hstack([X, refs]), y1, y2
+
+    def _impute(self, vec: np.ndarray) -> np.ndarray:
+        return np.where(np.isfinite(vec), vec, self._ref_medians)
+
+    # ---- unseen-LLM path ---------------------------------------------------------
+
+    def observe_reference(self, llm: LLMSpec, reference: PerfDataset) -> None:
+        self._test_llm = llm.name
+        self._test_ref = self._impute(self._reference_vector(reference, llm.name))
+
+    def predict_latencies(
+        self, llm: LLMSpec, profile: str, user_counts: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self._model_nttft is None:
+            raise RuntimeError("fit must be called before predict_latencies")
+        if self._test_ref is None or self._test_llm != llm.name:
+            raise RuntimeError(
+                "PARIS needs observe_reference() for the unseen LLM first"
+            )
+        rows = [(llm, profile, int(u)) for u in user_counts]
+        X = self._feature_space.transform(rows)
+        refs = np.tile(self._test_ref, (len(rows), 1))
+        X = np.hstack([X, refs])
+        return self._model_nttft.predict(X), self._model_itl.predict(X)

@@ -1,0 +1,107 @@
+"""PerfNet / PerfNetV2 baselines (Wang et al., RACS'20 / ACR'21).
+
+Neural-network performance models over platform + workload features, with
+no reference measurements of the unseen model. PerfNet uses a compact
+single-hidden-layer network per latency target; PerfNetV2 is the deeper
+refinement predicting both targets jointly. Targets are log-transformed
+(latencies span orders of magnitude) and features standardized.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaseRecommender
+from repro.characterization.dataset import PerfDataset
+from repro.ml.mlp import MLPRegressor
+from repro.ml.preprocessing import StandardScaler
+from repro.models.llm import LLMSpec
+from repro.recommendation.features import FeatureSpace
+
+__all__ = ["PerfNetRecommender", "PerfNetV2Recommender"]
+
+_LOG_FLOOR = 1e-7
+
+
+class PerfNetRecommender(BaseRecommender):
+    """PerfNet: one small MLP per latency metric."""
+
+    name = "PerfNet"
+    requires_reference = False
+    hidden_layers: tuple[int, ...] = (64,)
+    joint_outputs = False
+
+    def __init__(
+        self,
+        n_epochs: int = 250,
+        learning_rate: float = 1e-3,
+        random_state: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.n_epochs = n_epochs
+        self.learning_rate = learning_rate
+        self.random_state = random_state
+        self._feature_space: FeatureSpace | None = None
+        self._scaler: StandardScaler | None = None
+        self._models: list[MLPRegressor] = []
+
+    def _make_mlp(self, seed_offset: int) -> MLPRegressor:
+        return MLPRegressor(
+            hidden_layers=self.hidden_layers,
+            learning_rate=self.learning_rate,
+            n_epochs=self.n_epochs,
+            random_state=self.random_state + seed_offset,
+        )
+
+    def fit(self, train: PerfDataset, llm_lookup: dict[str, LLMSpec]) -> None:
+        llms = [llm_lookup[name] for name in train.llms()]
+        self._feature_space = FeatureSpace.fit(llms)
+        rows = [
+            (llm_lookup[r.llm], r.profile, r.concurrent_users) for r in train.records
+        ]
+        X = self._feature_space.transform(rows)
+        y1 = train.column("nttft_median_s")
+        y2 = train.column("itl_median_s")
+        ok = np.isfinite(y1) & np.isfinite(y2)
+        self._scaler = StandardScaler().fit(X[ok])
+        Xs = self._scaler.transform(X[ok])
+        t1 = np.log(np.maximum(y1[ok], _LOG_FLOOR))
+        t2 = np.log(np.maximum(y2[ok], _LOG_FLOOR))
+        if self.joint_outputs:
+            model = self._make_mlp(0)
+            model.fit(Xs, np.column_stack([t1, t2]))
+            self._models = [model]
+        else:
+            m1 = self._make_mlp(0)
+            m1.fit(Xs, t1)
+            m2 = self._make_mlp(1)
+            m2.fit(Xs, t2)
+            self._models = [m1, m2]
+
+    def _predict_log(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        Xs = self._scaler.transform(X)
+        if self.joint_outputs:
+            out = self._models[0].predict(Xs)
+            return out[:, 0], out[:, 1]
+        return self._models[0].predict(Xs), self._models[1].predict(Xs)
+
+    def predict_latencies(
+        self, llm: LLMSpec, profile: str, user_counts: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not self._models:
+            raise RuntimeError("fit must be called before predict_latencies")
+        rows = [(llm, profile, int(u)) for u in user_counts]
+        X = self._feature_space.transform(rows)
+        log1, log2 = self._predict_log(X)
+        return np.exp(log1), np.exp(log2)
+
+
+class PerfNetV2Recommender(PerfNetRecommender):
+    """PerfNetV2: deeper network, joint (nTTFT, ITL) prediction."""
+
+    name = "PerfNetV2"
+    hidden_layers = (128, 64, 32)
+    joint_outputs = True

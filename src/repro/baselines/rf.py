@@ -1,0 +1,77 @@
+"""Random-forest baseline: features only, no reference measurements.
+
+This is the paper's "RF" method — PARIS's regressor without the
+reference performance measurements — used to isolate how much those
+measurements contribute.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaseRecommender
+from repro.characterization.dataset import PerfDataset
+from repro.ml.forest import RandomForestRegressor
+from repro.models.llm import LLMSpec
+from repro.recommendation.features import FeatureSpace
+
+__all__ = ["RFRecommender"]
+
+
+class RFRecommender(BaseRecommender):
+    """Two random forests (nTTFT, ITL) over LLM+GPU+load features."""
+
+    name = "RF"
+    requires_reference = False
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int = 12,
+        random_state: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.random_state = random_state
+        self._feature_space: FeatureSpace | None = None
+        self._model_nttft: RandomForestRegressor | None = None
+        self._model_itl: RandomForestRegressor | None = None
+
+    def _make_forest(self) -> RandomForestRegressor:
+        return RandomForestRegressor(
+            n_estimators=self.n_estimators,
+            max_depth=self.max_depth,
+            random_state=self.random_state,
+        )
+
+    def _training_matrix(
+        self, train: PerfDataset, llm_lookup: dict[str, LLMSpec]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rows = [
+            (llm_lookup[r.llm], r.profile, r.concurrent_users) for r in train.records
+        ]
+        X = self._feature_space.transform(rows)
+        y1 = train.column("nttft_median_s")
+        y2 = train.column("itl_median_s")
+        return X, y1, y2
+
+    def fit(self, train: PerfDataset, llm_lookup: dict[str, LLMSpec]) -> None:
+        llms = [llm_lookup[name] for name in train.llms()]
+        self._feature_space = FeatureSpace.fit(llms)
+        X, y1, y2 = self._training_matrix(train, llm_lookup)
+        ok = np.isfinite(y1) & np.isfinite(y2)
+        self._model_nttft = self._make_forest().fit(X[ok], y1[ok])
+        self._model_itl = self._make_forest().fit(X[ok], y2[ok])
+
+    def predict_latencies(
+        self, llm: LLMSpec, profile: str, user_counts: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self._model_nttft is None:
+            raise RuntimeError("fit must be called before predict_latencies")
+        rows = [(llm, profile, int(u)) for u in user_counts]
+        X = self._feature_space.transform(rows)
+        return self._model_nttft.predict(X), self._model_itl.predict(X)

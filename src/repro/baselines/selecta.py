@@ -1,0 +1,133 @@
+"""Selecta baseline (Klimovic et al., ATC'18).
+
+Selecta builds a sparse matrix of known (application, configuration)
+performance entries and completes it by collaborative filtering. Here
+rows are LLMs and columns are (GPU profile, user count, metric) triples;
+the unseen LLM contributes only its reference-profile columns. Entries
+are log-transformed before factorization because latencies span orders
+of magnitude (the MF is trained on a roughly additive scale, as the
+original work's normalized runtimes were).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaseRecommender
+from repro.characterization.dataset import PerfDataset
+from repro.ml.cf import MatrixFactorization
+from repro.models.llm import LLMSpec
+
+__all__ = ["SelectaRecommender"]
+
+_METRICS = ("nttft_median_s", "itl_median_s")
+_LOG_FLOOR = 1e-7
+
+
+class SelectaRecommender(BaseRecommender):
+    """Matrix-factorization completion of the performance matrix."""
+
+    name = "Selecta"
+    requires_reference = True
+
+    def __init__(
+        self,
+        n_factors: int = 8,
+        n_epochs: int = 150,
+        learning_rate: float = 0.01,
+        reg: float = 0.05,
+        random_state: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.n_factors = n_factors
+        self.n_epochs = n_epochs
+        self.learning_rate = learning_rate
+        self.reg = reg
+        self.random_state = random_state
+        self._train: PerfDataset | None = None
+        self._reference: PerfDataset | None = None
+        self._test_llm: str | None = None
+        self._col_index: dict[tuple[str, int, str], int] = {}
+        self._row_index: dict[str, int] = {}
+        self._completed: np.ndarray | None = None
+
+    def fit(self, train: PerfDataset, llm_lookup: dict[str, LLMSpec]) -> None:
+        self._train = train
+        self._completed = None
+        # Column space: every (profile, users, metric) seen in training.
+        cols: dict[tuple[str, int, str], None] = {}
+        for r in train.records:
+            for m in _METRICS:
+                cols.setdefault((r.profile, r.concurrent_users, m), None)
+        self._col_index = {key: j for j, key in enumerate(cols)}
+        self._row_index = {name: i for i, name in enumerate(train.llms())}
+
+    def observe_reference(self, llm: LLMSpec, reference: PerfDataset) -> None:
+        self._reference = reference
+        self._test_llm = llm.name
+        self._completed = None
+
+    # ---- factorization ------------------------------------------------------
+
+    def _observations(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        users, items, values = [], [], []
+
+        def emit(row: int, dataset: PerfDataset) -> None:
+            for r in dataset.records:
+                for m in _METRICS:
+                    key = (r.profile, r.concurrent_users, m)
+                    j = self._col_index.get(key)
+                    if j is None:
+                        continue
+                    v = getattr(r, m)
+                    if not np.isfinite(v):
+                        continue
+                    users.append(row)
+                    items.append(j)
+                    values.append(np.log(max(v, _LOG_FLOOR)))
+
+        for name, i in self._row_index.items():
+            emit(i, self._train.filter(llm=name))
+        test_row = len(self._row_index)
+        if self._reference is not None:
+            emit(test_row, self._reference)
+        return np.array(users), np.array(items), np.array(values)
+
+    def _complete(self) -> np.ndarray:
+        if self._completed is not None:
+            return self._completed
+        if self._train is None:
+            raise RuntimeError("fit must be called before predicting")
+        if self._reference is None:
+            raise RuntimeError("Selecta needs observe_reference() first")
+        u, i, v = self._observations()
+        mf = MatrixFactorization(
+            n_factors=self.n_factors,
+            n_epochs=self.n_epochs,
+            learning_rate=self.learning_rate,
+            reg=self.reg,
+            random_state=self.random_state,
+        )
+        mf.fit(u, i, v, n_users=len(self._row_index) + 1, n_items=len(self._col_index))
+        self._completed = np.exp(mf.predict_full())
+        return self._completed
+
+    # ---- prediction -------------------------------------------------------------
+
+    def predict_latencies(
+        self, llm: LLMSpec, profile: str, user_counts: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self._test_llm != llm.name:
+            raise RuntimeError("observe_reference() must be called for this LLM")
+        matrix = self._complete()
+        test_row = len(self._row_index)
+        out = {m: np.full(len(user_counts), np.nan) for m in _METRICS}
+        for k, u in enumerate(user_counts):
+            for m in _METRICS:
+                j = self._col_index.get((profile, int(u), m))
+                if j is not None:
+                    out[m][k] = matrix[test_row, j]
+        return out["nttft_median_s"], out["itl_median_s"]

@@ -1,0 +1,106 @@
+"""Static policy baseline (paper §V-C).
+
+No performance prediction: always recommend a fixed (GPU profile, pod
+count). The paper considered a broad range of static policies and
+reported the one with the highest S/O score (4 pods of 1xA100). Our
+implementation searches the candidate policies on the *training* LLMs'
+measured data and picks the best-scoring one — the honest analogue.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaseRecommender
+from repro.characterization.dataset import PerfDataset
+from repro.evaluation.metrics import RecommendationOutcome, score_outcomes
+from repro.evaluation.oracle import best_deployment, true_umax
+from repro.hardware.pricing import PricingTable, aws_like_pricing
+from repro.hardware.profile import parse_profile
+from repro.models.llm import LLMSpec
+from repro.recommendation.recommender import Recommendation
+from repro.recommendation.weights import LatencyConstraints
+
+__all__ = ["StaticRecommender"]
+
+_DEFAULT_POD_CHOICES = (1, 2, 3, 4, 6, 8, 12, 16)
+
+
+class StaticRecommender(BaseRecommender):
+    """Fixed-deployment policy selected for best training-set S/O."""
+
+    name = "Static"
+    requires_reference = False
+
+    def __init__(
+        self,
+        constraints: LatencyConstraints | None = None,
+        total_users: int = 200,
+        pricing: PricingTable | None = None,
+        pod_choices: Sequence[int] = _DEFAULT_POD_CHOICES,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.constraints = constraints or LatencyConstraints(nttft_s=0.1, itl_s=0.05)
+        self.total_users = total_users
+        self.pricing = pricing or aws_like_pricing()
+        self.pod_choices = tuple(pod_choices)
+        self.policy_: tuple[str, int] | None = None
+
+    def fit(self, train: PerfDataset, llm_lookup: dict[str, LLMSpec]) -> None:
+        profiles = train.profiles()
+        llms = train.llms()
+        oracle = {
+            m: best_deployment(
+                train, m, profiles, self.pricing, self.constraints, self.total_users
+            )
+            for m in llms
+        }
+        best_policy = None
+        best_so = -1.0
+        for profile in profiles:
+            pod_cost = self.pricing.pod_cost(parse_profile(profile))
+            for pods in self.pod_choices:
+                outcomes = []
+                for m in llms:
+                    o = oracle[m]
+                    outcomes.append(
+                        RecommendationOutcome(
+                            llm=m,
+                            recommended_profile=profile,
+                            n_pods=pods,
+                            recommended_cost=pods * pod_cost,
+                            true_umax=true_umax(train, m, profile, self.constraints),
+                            oracle_profile=o.profile if o else None,
+                            oracle_cost=o.total_cost if o else float("nan"),
+                            total_users=self.total_users,
+                        )
+                    )
+                so = score_outcomes("static-candidate", outcomes).so
+                if so > best_so:
+                    best_so = so
+                    best_policy = (profile, pods)
+        if best_policy is None:
+            raise RuntimeError("no static policy could be scored")
+        self.policy_ = best_policy
+
+    def predict_latencies(
+        self, llm: LLMSpec, profile: str, user_counts: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError("the static policy makes no predictions")
+
+    def recommend(
+        self,
+        llm: LLMSpec,
+        profiles: Sequence[str],
+        pricing: PricingTable,
+        constraints: LatencyConstraints,
+        total_users: int,
+    ) -> Recommendation:
+        if self.policy_ is None:
+            raise RuntimeError("fit must be called before recommend")
+        profile, pods = self.policy_
+        cost = pods * pricing.pod_cost(parse_profile(profile))
+        return Recommendation(profile=profile, n_pods=pods, total_cost=cost)

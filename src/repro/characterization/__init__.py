@@ -1,0 +1,38 @@
+"""Performance characterization tool (paper §III): batch-weight tuning,
+load testing, feasibility classification and the characterization dataset."""
+
+from repro.characterization.tuner import BatchWeightTuner, TuningResult
+from repro.characterization.loadtest import (
+    LoadTestResult,
+    run_load_test,
+    run_open_loop_test,
+    DEFAULT_USER_COUNTS,
+)
+from repro.characterization.feasibility import (
+    Feasibility,
+    FeasibilityReport,
+    check_feasibility,
+)
+from repro.characterization.dataset import PerfDataset, PerfRecord
+from repro.characterization.runner import (
+    CharacterizationConfig,
+    CharacterizationOutcome,
+    CharacterizationTool,
+)
+
+__all__ = [
+    "BatchWeightTuner",
+    "TuningResult",
+    "LoadTestResult",
+    "run_load_test",
+    "run_open_loop_test",
+    "DEFAULT_USER_COUNTS",
+    "Feasibility",
+    "FeasibilityReport",
+    "check_feasibility",
+    "PerfDataset",
+    "PerfRecord",
+    "CharacterizationConfig",
+    "CharacterizationOutcome",
+    "CharacterizationTool",
+]

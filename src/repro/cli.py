@@ -1,0 +1,220 @@
+"""Command-line interface: ``repro-pilot``.
+
+Subcommands mirror the two roles the paper defines (§I):
+
+* cluster administrator (offline):
+  - ``traces``        synthesize a production-like trace collection;
+  - ``characterize``  run the characterization campaign, save the dataset;
+* cluster user (online):
+  - ``recommend``     recommend (GPU profile, pods) for an unseen LLM;
+  - ``evaluate``      leave-one-LLM-out Fig 8-style method comparison;
+* utility:
+  - ``info``          workload-generator and catalog statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.characterization import (
+    CharacterizationConfig,
+    CharacterizationTool,
+    PerfDataset,
+)
+from repro.hardware import aws_like_pricing, default_profiles, list_gpus
+from repro.models import LLM_CATALOG, get_llm, list_llms
+from repro.recommendation import (
+    GPURecommendationTool,
+    LatencyConstraints,
+    PerfModelHyperparams,
+)
+from repro.recommendation.pilot import LLMPilotRecommender
+from repro.traces import TraceConfig, TraceDataset, TraceSynthesizer
+from repro.utils.tables import format_table
+from repro.workload import WorkloadGenerator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pilot",
+        description="LLM-Pilot reproduction: characterize and recommend.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_traces = sub.add_parser("traces", help="synthesize a trace collection")
+    p_traces.add_argument("--requests", type=int, default=100_000)
+    p_traces.add_argument("--seed", type=int, default=0)
+    p_traces.add_argument("--out", required=True, help="output .npz path")
+
+    p_char = sub.add_parser("characterize", help="run a characterization campaign")
+    p_char.add_argument("--traces", help=".npz trace collection (else synthesized)")
+    p_char.add_argument("--requests", type=int, default=100_000)
+    p_char.add_argument(
+        "--llm", action="append", dest="llms",
+        help="LLM name (repeatable; default: full catalog)",
+    )
+    p_char.add_argument("--duration", type=float, default=120.0)
+    p_char.add_argument("--seed", type=int, default=0)
+    p_char.add_argument("--out", required=True, help="output dataset .npz path")
+
+    p_rec = sub.add_parser("recommend", help="recommend hardware for an unseen LLM")
+    p_rec.add_argument("--dataset", required=True, help="characterization .npz")
+    p_rec.add_argument("--llm", required=True)
+    p_rec.add_argument("--users", type=int, default=200)
+    p_rec.add_argument("--nttft-ms", type=float, default=100.0)
+    p_rec.add_argument("--itl-ms", type=float, default=50.0)
+    p_rec.add_argument("--requests", type=int, default=100_000)
+    p_rec.add_argument("--seed", type=int, default=0)
+    p_rec.add_argument("--tune", action="store_true", help="tune HPs (slow)")
+
+    p_info = sub.add_parser("info", help="catalog and generator statistics")
+    p_info.add_argument("--requests", type=int, default=50_000)
+    p_info.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _load_or_make_traces(args) -> TraceDataset:
+    if getattr(args, "traces", None):
+        return TraceDataset.load(args.traces)
+    config = TraceConfig(n_requests=args.requests)
+    return TraceSynthesizer(config=config, seed=args.seed).generate()
+
+
+def _cmd_traces(args) -> int:
+    config = TraceConfig(n_requests=args.requests)
+    traces = TraceSynthesizer(config=config, seed=args.seed).generate()
+    traces.save(args.out)
+    s = traces.summary()
+    print(
+        f"Wrote {s['n_requests']:,} requests ({s['n_users']:,} users, "
+        f"{s['n_llms']} LLMs, {s['time_period_months']:.1f} months) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    traces = _load_or_make_traces(args)
+    generator = WorkloadGenerator.fit(traces)
+    llm_names = args.llms or list_llms()
+    try:
+        llms = [get_llm(name) for name in llm_names]
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tool = CharacterizationTool(
+        generator,
+        CharacterizationConfig(duration_s=args.duration, seed=args.seed),
+    )
+    outcome = tool.run(llms)
+    outcome.dataset.save(args.out)
+    print(
+        f"Characterized {len(outcome.tuned_weights)} feasible pairs "
+        f"({len(outcome.dataset)} measurements) -> {args.out}; "
+        f"estimated cluster overhead {outcome.total_overhead_s / 3600:.1f}h "
+        "(parallelized)"
+    )
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    dataset = PerfDataset.load(args.dataset)
+    try:
+        llm = get_llm(args.llm)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.llm in dataset.llms():
+        dataset = dataset.exclude_llm(args.llm)
+        print(f"note: excluded {args.llm}'s own rows from the training data")
+    if not dataset.llms():
+        print("error: no training LLMs left in the dataset", file=sys.stderr)
+        return 2
+    constraints = LatencyConstraints(
+        nttft_s=args.nttft_ms / 1e3, itl_s=args.itl_ms / 1e3
+    )
+    traces = _load_or_make_traces(args)
+    generator = WorkloadGenerator.fit(traces)
+
+    pilot = LLMPilotRecommender(
+        constraints=constraints,
+        hyperparams=PerfModelHyperparams(),
+        tune=args.tune,
+    )
+    pilot.fit(dataset, dict(LLM_CATALOG))
+    tool = GPURecommendationTool(
+        perf_model=pilot.model_,
+        pricing=aws_like_pricing(),
+        constraints=constraints,
+        max_request_weight=generator.max_request_weight(),
+    )
+    rec = tool.recommend(llm, default_profiles(), total_users=args.users)
+    rows = [
+        [a.profile, a.umax, a.n_pods, a.total_cost]
+        for a in sorted(rec.assessments, key=lambda a: a.total_cost)
+    ]
+    print(
+        format_table(
+            ["profile", "pred. umax", "pods", "$/h"],
+            rows,
+            floatfmt=".2f",
+            title=(
+                f"Assessments for {llm.name} (U={args.users}, "
+                f"nTTFT<={args.nttft_ms:.0f}ms, ITL<={args.itl_ms:.0f}ms):"
+            ),
+        )
+    )
+    if rec.feasible:
+        print(
+            f"Recommendation: {rec.n_pods} pod(s) on {rec.profile} "
+            f"(${rec.total_cost:.2f}/h)"
+        )
+        return 0
+    print("No profile satisfies the constraints.")
+    return 1
+
+
+def _cmd_info(args) -> int:
+    config = TraceConfig(n_requests=args.requests)
+    traces = TraceSynthesizer(config=config, seed=args.seed).generate()
+    generator = WorkloadGenerator.fit(traces)
+    model = generator.model
+    print(f"LLM catalog ({len(list_llms())}): " + ", ".join(list_llms()))
+    print(f"GPU types ({len(list_gpus())}): " + ", ".join(list_gpus()))
+    print(f"GPU profiles: {len(default_profiles())}")
+    print(
+        f"Workload generator: {model.n_nonempty_bins:,} joint bins of "
+        f"{model.n_theoretical_bins:.3g} possible "
+        f"({generator.nbytes() / 1e6:.2f} MB), "
+        f"max request weight {generator.max_request_weight():,} tokens"
+    )
+    sample = model.sample(10_000, rng=0)
+    print(
+        "Sampled request means: "
+        f"input {np.mean(sample['input_tokens']):.0f}, "
+        f"output {np.mean(sample['output_tokens']):.0f} tokens, "
+        f"batch {np.mean(sample['batch_size']):.2f}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "traces": _cmd_traces,
+    "characterize": _cmd_characterize,
+    "recommend": _cmd_recommend,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

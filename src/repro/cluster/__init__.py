@@ -1,0 +1,24 @@
+"""Kubernetes-like deployment layer: replicated pods, load balancing and
+multi-tenant cluster scheduling (the paper's declared next step)."""
+
+from repro.cluster.balancer import split_users, round_robin_assignment
+from repro.cluster.deployment import Deployment, DeploymentLoadTestResult
+from repro.cluster.scheduler import (
+    ClusterInventory,
+    TenantRequest,
+    Placement,
+    ScheduleResult,
+    MultiTenantScheduler,
+)
+
+__all__ = [
+    "split_users",
+    "round_robin_assignment",
+    "Deployment",
+    "DeploymentLoadTestResult",
+    "ClusterInventory",
+    "TenantRequest",
+    "Placement",
+    "ScheduleResult",
+    "MultiTenantScheduler",
+]

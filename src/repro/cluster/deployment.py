@@ -1,0 +1,131 @@
+"""Deployments: replicated inference-service pods (paper §II-C).
+
+A Deployment manages ``n`` pod replicas of the same (LLM, GPU profile)
+service; load balancing distributes users across pods, which operate
+independently (each pod has exclusive GPUs, no co-location effects).
+``run_load_test`` reproduces the Table I experiment: per-pod throughput
+under a varying total user population, demonstrating near-perfect
+scaling with the pod count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.characterization.loadtest import LoadTestResult, run_load_test
+from repro.cluster.balancer import split_users
+from repro.hardware.profile import GPUProfile
+from repro.inference.engine import ContinuousBatchingEngine
+from repro.models.llm import LLMSpec
+from repro.utils.rng import spawn_seed
+from repro.utils.stats import relative_std
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = ["Deployment", "DeploymentLoadTestResult"]
+
+
+@dataclass
+class DeploymentLoadTestResult:
+    """Aggregated outcome of a deployment-level load test."""
+
+    n_pods: int
+    total_users: int
+    per_pod: list[LoadTestResult] = field(default_factory=list)
+
+    @property
+    def throughput_per_pod(self) -> np.ndarray:
+        return np.array([p.throughput_tokens_per_s for p in self.per_pod])
+
+    @property
+    def mean_throughput_per_pod(self) -> float:
+        active = self.throughput_per_pod
+        return float(active.mean()) if active.size else 0.0
+
+    @property
+    def total_throughput(self) -> float:
+        return float(self.throughput_per_pod.sum())
+
+    @property
+    def throughput_rsd(self) -> float:
+        """Relative standard deviation of per-pod throughput."""
+        return relative_std(self.throughput_per_pod)
+
+    def ttft_median_s(self) -> float:
+        vals = [p.ttft_median_s for p in self.per_pod if np.isfinite(p.ttft_median_s)]
+        return float(np.median(vals)) if vals else float("nan")
+
+    def itl_median_s(self) -> float:
+        vals = [p.itl_median_s for p in self.per_pod if np.isfinite(p.itl_median_s)]
+        return float(np.median(vals)) if vals else float("nan")
+
+
+class Deployment:
+    """``n`` replicas of one inference service behind a load balancer."""
+
+    def __init__(
+        self,
+        llm: LLMSpec,
+        profile: GPUProfile,
+        n_pods: int,
+        max_batch_weight: int,
+        generator: WorkloadGenerator,
+        seed: int = 0,
+    ) -> None:
+        if n_pods < 1:
+            raise ValueError(f"n_pods must be >= 1, got {n_pods}")
+        self.llm = llm
+        self.profile = profile
+        self.n_pods = n_pods
+        self.max_batch_weight = max_batch_weight
+        self.generator = generator
+        self.seed = seed
+
+    def scale(self, n_pods: int) -> "Deployment":
+        """A copy with a different replica count."""
+        return Deployment(
+            llm=self.llm,
+            profile=self.profile,
+            n_pods=n_pods,
+            max_batch_weight=self.max_batch_weight,
+            generator=self.generator,
+            seed=self.seed,
+        )
+
+    def run_load_test(
+        self, total_users: int, duration_s: float = 120.0
+    ) -> DeploymentLoadTestResult:
+        """Drive ``total_users`` closed-loop users against the deployment.
+
+        Pods are independent (inference is embarrassingly parallel at the
+        request level), so each pod simulates its share of the users; the
+        different per-pod seeds reproduce the real-world run-to-run spread
+        that Table I quantifies with the relative standard deviation.
+        """
+        if total_users < 1:
+            raise ValueError(f"total_users must be >= 1, got {total_users}")
+        shares = split_users(total_users, self.n_pods)
+        out = DeploymentLoadTestResult(n_pods=self.n_pods, total_users=total_users)
+        for pod_index, users in enumerate(shares):
+            if users == 0:
+                continue
+            pod_seed = spawn_seed(
+                self.seed, "pod", self.llm.name, self.profile.name, pod_index
+            )
+            engine = ContinuousBatchingEngine(
+                llm=self.llm,
+                profile=self.profile,
+                max_batch_weight=self.max_batch_weight,
+                seed=pod_seed,
+            )
+            out.per_pod.append(
+                run_load_test(
+                    engine,
+                    self.generator,
+                    concurrent_users=users,
+                    duration_s=duration_s,
+                    seed=pod_seed,
+                )
+            )
+        return out

@@ -1,0 +1,203 @@
+"""Multi-tenant cluster scheduling (the paper's declared next step).
+
+The paper's conclusion: "we intend to extend LLM-Pilot to cover the
+multi-tenancy scenario, in which multiple users compete to deploy LLM
+inference services on the same hardware resources." This module
+implements that extension over the reproduction's machinery:
+
+* a :class:`ClusterInventory` of finite per-GPU-type capacity;
+* placement of each tenant's *ranked* deployment options (as produced
+  by the recommendation tool's per-profile assessments) under capacity
+  constraints;
+* two policies — greedy-by-cost and a global best-fit that minimizes
+  total cluster cost while serving every tenant it can.
+
+Pods keep exclusive GPU access (no co-location, matching §II-C), so
+multi-tenancy is a packing problem over GPU counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.profile import parse_profile
+from repro.recommendation.recommender import ProfileAssessment, Recommendation
+
+__all__ = ["ClusterInventory", "TenantRequest", "Placement", "ScheduleResult",
+           "MultiTenantScheduler"]
+
+
+@dataclass
+class ClusterInventory:
+    """Finite GPU inventory, by GPU type name."""
+
+    capacity: dict[str, int]
+    used: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, count in self.capacity.items():
+            if count < 0:
+                raise ValueError(f"negative capacity for {name}")
+            self.used.setdefault(name, 0)
+
+    def available(self, gpu_name: str) -> int:
+        return self.capacity.get(gpu_name, 0) - self.used.get(gpu_name, 0)
+
+    def can_fit(self, profile_name: str, pods: int) -> bool:
+        profile = parse_profile(profile_name)
+        return self.available(profile.gpu.name) >= profile.count * pods
+
+    def allocate(self, profile_name: str, pods: int) -> None:
+        profile = parse_profile(profile_name)
+        need = profile.count * pods
+        if self.available(profile.gpu.name) < need:
+            raise ValueError(
+                f"cannot allocate {need} x {profile.gpu.name}: only "
+                f"{self.available(profile.gpu.name)} available"
+            )
+        self.used[profile.gpu.name] = self.used.get(profile.gpu.name, 0) + need
+
+    def release(self, profile_name: str, pods: int) -> None:
+        profile = parse_profile(profile_name)
+        need = profile.count * pods
+        if self.used.get(profile.gpu.name, 0) < need:
+            raise ValueError("releasing more GPUs than allocated")
+        self.used[profile.gpu.name] -= need
+
+    def utilization(self) -> dict[str, float]:
+        return {
+            name: (self.used.get(name, 0) / cap if cap else 0.0)
+            for name, cap in self.capacity.items()
+        }
+
+
+@dataclass(frozen=True)
+class TenantRequest:
+    """One tenant's deployment request: the ranked feasible options.
+
+    ``options`` come straight from ``Recommendation.assessments`` —
+    every profile with a positive umax, with pod counts and costs
+    already derived from the tenant's SLA and user count.
+    """
+
+    tenant: str
+    options: tuple[ProfileAssessment, ...]
+
+    @classmethod
+    def from_recommendation(cls, tenant: str, rec: Recommendation) -> "TenantRequest":
+        usable = tuple(
+            sorted(
+                (a for a in rec.assessments if a.umax >= 1),
+                key=lambda a: (a.total_cost, a.n_pods),
+            )
+        )
+        return cls(tenant=tenant, options=usable)
+
+
+@dataclass(frozen=True)
+class Placement:
+    tenant: str
+    profile: str
+    n_pods: int
+    total_cost: float
+
+
+@dataclass
+class ScheduleResult:
+    placements: list[Placement] = field(default_factory=list)
+    unplaced: list[str] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(p.total_cost for p in self.placements)
+
+    @property
+    def n_placed(self) -> int:
+        return len(self.placements)
+
+
+class MultiTenantScheduler:
+    """Places competing tenants onto a finite GPU inventory."""
+
+    def __init__(self, inventory: ClusterInventory) -> None:
+        self.inventory = inventory
+
+    # ---- policies -----------------------------------------------------------
+
+    def schedule_greedy(self, tenants: list[TenantRequest]) -> ScheduleResult:
+        """First-come-first-served: each tenant takes its cheapest option
+        that still fits the remaining inventory."""
+        result = ScheduleResult()
+        for tenant in tenants:
+            placed = False
+            for option in tenant.options:
+                if self.inventory.can_fit(option.profile, option.n_pods):
+                    self.inventory.allocate(option.profile, option.n_pods)
+                    result.placements.append(
+                        Placement(
+                            tenant=tenant.tenant,
+                            profile=option.profile,
+                            n_pods=option.n_pods,
+                            total_cost=option.total_cost,
+                        )
+                    )
+                    placed = True
+                    break
+            if not placed:
+                result.unplaced.append(tenant.tenant)
+        return result
+
+    def schedule_best_fit(self, tenants: list[TenantRequest]) -> ScheduleResult:
+        """Global policy: maximize placed tenants, then minimize total cost.
+
+        Exact search over per-tenant options with branch-and-bound; the
+        paper-scale problem (tens of tenants, <=14 options each) is far
+        within reach because options per tenant are few and dominated
+        branches prune aggressively.
+        """
+        tenants = list(tenants)
+        best: tuple[int, float, list[Placement]] = (0, float("inf"), [])
+
+        def dfs(i: int, placements: list[Placement], cost: float) -> None:
+            nonlocal best
+            placed_now = len(placements)
+            remaining = len(tenants) - i
+            # Bound: even placing everyone left cannot beat the best.
+            if (placed_now + remaining, -cost) < (best[0], -best[1]) and (
+                placed_now + remaining < best[0]
+                or (placed_now + remaining == best[0] and cost >= best[1])
+            ):
+                return
+            if i == len(tenants):
+                if placed_now > best[0] or (placed_now == best[0] and cost < best[1]):
+                    best = (placed_now, cost, list(placements))
+                return
+            tenant = tenants[i]
+            # Option branches (cheapest first), then the skip branch.
+            for option in tenant.options:
+                if not self.inventory.can_fit(option.profile, option.n_pods):
+                    continue
+                self.inventory.allocate(option.profile, option.n_pods)
+                placements.append(
+                    Placement(
+                        tenant=tenant.tenant,
+                        profile=option.profile,
+                        n_pods=option.n_pods,
+                        total_cost=option.total_cost,
+                    )
+                )
+                dfs(i + 1, placements, cost + option.total_cost)
+                placements.pop()
+                self.inventory.release(option.profile, option.n_pods)
+            dfs(i + 1, placements, cost)
+
+        dfs(0, [], 0.0)
+        placed_tenants = {p.tenant for p in best[2]}
+        result = ScheduleResult(
+            placements=best[2],
+            unplaced=[t.tenant for t in tenants if t.tenant not in placed_tenants],
+        )
+        # Commit the chosen allocation to the inventory.
+        for p in result.placements:
+            self.inventory.allocate(p.profile, p.n_pods)
+        return result

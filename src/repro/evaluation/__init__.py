@@ -1,0 +1,20 @@
+"""Evaluation machinery: ground-truth oracle, Eq. (5)-(7) metrics and the
+nested leave-one-LLM-out harness (Fig 8)."""
+
+from repro.evaluation.metrics import (
+    RecommendationOutcome,
+    MethodScore,
+    score_outcomes,
+    so_score,
+)
+from repro.evaluation.oracle import OracleDeployment, true_umax, best_deployment
+
+__all__ = [
+    "RecommendationOutcome",
+    "MethodScore",
+    "score_outcomes",
+    "so_score",
+    "OracleDeployment",
+    "true_umax",
+    "best_deployment",
+]

@@ -1,0 +1,167 @@
+"""Nested leave-one-LLM-out evaluation of recommendation methods (§V-C).
+
+Each catalog LLM in turn is treated as unseen: every method trains on the
+remaining LLMs' characterization data (tuning its hyperparameters by
+inner leave-one-LLM-out CV where applicable), observes the unseen LLM's
+reference-profile measurements if the method requires them, recommends a
+(GPU profile, pod count), and is scored against the measured ground
+truth with Eqs. (5)-(7).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.baselines.base import BaseRecommender, REFERENCE_PROFILES
+from repro.characterization.dataset import PerfDataset
+from repro.characterization.feasibility import check_feasibility
+from repro.characterization.loadtest import DEFAULT_USER_COUNTS
+from repro.evaluation.metrics import (
+    MethodScore,
+    RecommendationOutcome,
+    score_outcomes,
+)
+from repro.evaluation.oracle import best_deployment, true_umax
+from repro.hardware.pricing import PricingTable, aws_like_pricing
+from repro.hardware.profile import parse_profile
+from repro.models.llm import LLMSpec
+from repro.recommendation.weights import LatencyConstraints
+
+__all__ = ["EvaluationConfig", "evaluate_method", "evaluate_methods", "ideal_score"]
+
+
+@dataclass(frozen=True)
+class EvaluationConfig:
+    """The §V-C experimental setting."""
+
+    total_users: int = 200
+    constraints: LatencyConstraints = field(
+        default_factory=lambda: LatencyConstraints(nttft_s=0.100, itl_s=0.050)
+    )
+    user_counts: tuple[int, ...] = DEFAULT_USER_COUNTS
+    reference_profiles: tuple[str, str] = REFERENCE_PROFILES
+    #: Largest workload request weight, for static feasibility screening of
+    #: candidate profiles (available to every method: pure datasheet math).
+    max_request_weight: int = 6000
+
+
+def _candidate_profiles(
+    llm: LLMSpec, profile_names: Sequence[str], max_request_weight: int
+) -> list[str]:
+    """Profiles that can statically host the LLM (no measurements used)."""
+    out = []
+    for name in profile_names:
+        report = check_feasibility(llm, parse_profile(name), max_request_weight)
+        if report.feasible:
+            out.append(name)
+    return out
+
+
+def evaluate_method(
+    method_factory: Callable[[], BaseRecommender],
+    dataset: PerfDataset,
+    llm_lookup: dict[str, LLMSpec],
+    pricing: PricingTable | None = None,
+    config: EvaluationConfig | None = None,
+    method_name: str | None = None,
+) -> MethodScore:
+    """Leave-one-LLM-out evaluation of one recommendation method."""
+    pricing = pricing or aws_like_pricing()
+    config = config or EvaluationConfig()
+    all_profiles = dataset.profiles()
+    outcomes: list[RecommendationOutcome] = []
+    name = method_name
+
+    for test_llm in dataset.llms():
+        llm_spec = llm_lookup[test_llm]
+        train = dataset.exclude_llm(test_llm)
+        method = method_factory()
+        if name is None:
+            name = method.name
+        method.fit(train, llm_lookup)
+        if method.requires_reference:
+            reference = PerfDataset(
+                records=[
+                    r
+                    for r in dataset.filter(llm=test_llm).records
+                    if r.profile in config.reference_profiles
+                ]
+            )
+            method.observe_reference(llm_spec, reference)
+
+        candidates = _candidate_profiles(
+            llm_spec, all_profiles, config.max_request_weight
+        )
+        oracle = best_deployment(
+            dataset, test_llm, all_profiles, pricing, config.constraints,
+            config.total_users,
+        )
+        if candidates:
+            rec = method.recommend(
+                llm_spec, candidates, pricing, config.constraints, config.total_users
+            )
+        else:
+            rec = None
+        outcomes.append(
+            RecommendationOutcome(
+                llm=test_llm,
+                recommended_profile=rec.profile if rec else None,
+                n_pods=rec.n_pods if rec else 0,
+                recommended_cost=rec.total_cost if rec else float("inf"),
+                true_umax=(
+                    true_umax(dataset, test_llm, rec.profile, config.constraints)
+                    if rec and rec.profile
+                    else 0
+                ),
+                oracle_profile=oracle.profile if oracle else None,
+                oracle_cost=oracle.total_cost if oracle else float("nan"),
+                total_users=config.total_users,
+            )
+        )
+    return score_outcomes(name or "method", outcomes)
+
+
+def evaluate_methods(
+    factories: dict[str, Callable[[], BaseRecommender]],
+    dataset: PerfDataset,
+    llm_lookup: dict[str, LLMSpec],
+    pricing: PricingTable | None = None,
+    config: EvaluationConfig | None = None,
+) -> dict[str, MethodScore]:
+    """Evaluate several methods under identical conditions (Fig 8)."""
+    return {
+        name: evaluate_method(
+            factory, dataset, llm_lookup, pricing, config, method_name=name
+        )
+        for name, factory in factories.items()
+    }
+
+
+def ideal_score(
+    dataset: PerfDataset,
+    pricing: PricingTable | None = None,
+    config: EvaluationConfig | None = None,
+) -> MethodScore:
+    """The theoretical ideal (star in Fig 8): the oracle's own choice."""
+    pricing = pricing or aws_like_pricing()
+    config = config or EvaluationConfig()
+    profiles = dataset.profiles()
+    outcomes = []
+    for llm in dataset.llms():
+        oracle = best_deployment(
+            dataset, llm, profiles, pricing, config.constraints, config.total_users
+        )
+        outcomes.append(
+            RecommendationOutcome(
+                llm=llm,
+                recommended_profile=oracle.profile if oracle else None,
+                n_pods=oracle.n_pods if oracle else 0,
+                recommended_cost=oracle.total_cost if oracle else float("inf"),
+                true_umax=oracle.umax if oracle else 0,
+                oracle_profile=oracle.profile if oracle else None,
+                oracle_cost=oracle.total_cost if oracle else float("nan"),
+                total_users=config.total_users,
+            )
+        )
+    return score_outcomes("Ideal", outcomes)

@@ -1,0 +1,89 @@
+"""Recommendation-quality metrics (paper Eqs. 5-7).
+
+* **Success** S_M: the recommended deployment truly serves the required
+  U concurrent users under the latency constraints.
+* **Relative overspend** O_M: cost excess over the truly cheapest
+  deployment, for successful recommendations.
+* **S/O score**: harmonic mean of the success rate and max(0, 1 - O),
+  the paper's headline metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.stats import harmonic_mean
+
+__all__ = ["RecommendationOutcome", "MethodScore", "score_outcomes", "so_score"]
+
+
+@dataclass(frozen=True)
+class RecommendationOutcome:
+    """Evaluation of one recommendation for one unseen LLM."""
+
+    llm: str
+    recommended_profile: str | None
+    n_pods: int
+    recommended_cost: float
+    true_umax: int  # measured umax of the recommended profile
+    oracle_profile: str | None
+    oracle_cost: float
+    total_users: int
+
+    @property
+    def success(self) -> bool:
+        """Eq. (5): n * true umax covers the required user count."""
+        if self.recommended_profile is None or self.oracle_profile is None:
+            return False
+        return self.n_pods * self.true_umax >= self.total_users
+
+    @property
+    def overspend(self) -> float:
+        """Eq. (6); only defined for successful recommendations."""
+        if not self.success:
+            return float("nan")
+        if self.oracle_cost <= 0:
+            return float("nan")
+        return (self.recommended_cost - self.oracle_cost) / self.oracle_cost
+
+
+@dataclass
+class MethodScore:
+    """Aggregated Eq. (5)-(7) metrics for one method."""
+
+    method: str
+    success_rate: float
+    mean_overspend: float
+    so: float
+    outcomes: list[RecommendationOutcome] = field(default_factory=list)
+
+
+def so_score(success_rate: float, mean_overspend: float) -> float:
+    """Eq. (7): harmonic mean of S and max(0, 1 - O)."""
+    if not 0.0 <= success_rate <= 1.0:
+        raise ValueError("success rate must be in [0, 1]")
+    inv = max(0.0, 1.0 - mean_overspend) if np.isfinite(mean_overspend) else 0.0
+    return harmonic_mean(success_rate, inv)
+
+
+def score_outcomes(
+    method: str, outcomes: list[RecommendationOutcome]
+) -> MethodScore:
+    """Aggregate per-LLM outcomes into the paper's three metrics."""
+    if not outcomes:
+        raise ValueError("no outcomes to score")
+    successes = [o for o in outcomes if o.success]
+    success_rate = len(successes) / len(outcomes)
+    overspends = [o.overspend for o in successes if np.isfinite(o.overspend)]
+    mean_overspend = float(np.mean(overspends)) if overspends else float("nan")
+    if not successes:
+        mean_overspend = float("inf")
+    return MethodScore(
+        method=method,
+        success_rate=success_rate,
+        mean_overspend=mean_overspend,
+        so=so_score(success_rate, mean_overspend),
+        outcomes=list(outcomes),
+    )

@@ -1,0 +1,77 @@
+"""Ground-truth oracle over the characterization dataset.
+
+Computes, from *measured* performance data, the quantities Eq. (5)-(6)
+compare recommendations against: the true per-pod umax of each profile
+and the truly most cost-effective deployment the user could have chosen
+with full knowledge of the unseen LLM's performance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.characterization.dataset import PerfDataset
+from repro.hardware.pricing import PricingTable
+from repro.hardware.profile import parse_profile
+from repro.recommendation.recommender import umax_from_latencies
+from repro.recommendation.weights import LatencyConstraints
+
+__all__ = ["OracleDeployment", "true_umax", "best_deployment"]
+
+
+@dataclass(frozen=True)
+class OracleDeployment:
+    """The cost-optimal deployment under full information."""
+
+    profile: str
+    n_pods: int
+    total_cost: float
+    umax: int
+
+
+def true_umax(
+    dataset: PerfDataset,
+    llm: str,
+    profile: str,
+    constraints: LatencyConstraints,
+) -> int:
+    """Measured umax (Eq. 3 evaluated on the LLM's real data).
+
+    Returns 0 when the combination has no data (infeasible deployment)
+    or violates a constraint already at the smallest measured load.
+    """
+    users, nttft = dataset.series(llm, profile, "nttft_median_s")
+    _, itl = dataset.series(llm, profile, "itl_median_s")
+    if len(users) == 0:
+        return 0
+    return umax_from_latencies(list(users), nttft, itl, constraints)
+
+
+def best_deployment(
+    dataset: PerfDataset,
+    llm: str,
+    profiles: Sequence[str],
+    pricing: PricingTable,
+    constraints: LatencyConstraints,
+    total_users: int,
+) -> OracleDeployment | None:
+    """The cheapest (profile, pods) truly satisfying the requirements."""
+    if total_users < 1:
+        raise ValueError("total_users must be >= 1")
+    best: OracleDeployment | None = None
+    for name in profiles:
+        umax = true_umax(dataset, llm, name, constraints)
+        if umax < 1:
+            continue
+        n_pods = int(np.ceil(total_users / umax))
+        cost = n_pods * pricing.pod_cost(parse_profile(name))
+        if best is None or cost < best.total_cost or (
+            cost == best.total_cost and n_pods < best.n_pods
+        ):
+            best = OracleDeployment(
+                profile=name, n_pods=n_pods, total_cost=cost, umax=umax
+            )
+    return best

@@ -1,0 +1,17 @@
+"""GPU hardware substrate: spec catalog, deployment profiles and pricing."""
+
+from repro.hardware.gpu import GPUSpec, GPU_CATALOG, get_gpu, list_gpus
+from repro.hardware.profile import GPUProfile, default_profiles, parse_profile
+from repro.hardware.pricing import PricingTable, aws_like_pricing
+
+__all__ = [
+    "GPUSpec",
+    "GPU_CATALOG",
+    "get_gpu",
+    "list_gpus",
+    "GPUProfile",
+    "default_profiles",
+    "parse_profile",
+    "PricingTable",
+    "aws_like_pricing",
+]

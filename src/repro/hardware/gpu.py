@@ -1,0 +1,251 @@
+"""GPU specification catalog.
+
+The paper characterizes five GPU types (H100 80GB, A100 40GB, A10 24GB,
+T4 16GB, V100 16GB) plus A100 80GB for the pod-scaling experiment
+(Table I). Each spec carries the full feature set that the GPU
+recommendation tool uses (paper §IV-B1, following Justus et al. [16]):
+memory capacity and bandwidth, architecture, core counts, TFLOPS per
+data type, compute capability, interface generation, form factor and
+NVLink availability.
+
+All specs are public datasheet values; they drive both the inference
+cost model (memory capacity/bandwidth, TFLOPS, interconnect) and the
+ML feature engineering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["GPUSpec", "GPU_CATALOG", "get_gpu", "list_gpus"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Datasheet description of a single GPU type."""
+
+    name: str
+    architecture: str
+    memory_gb: float
+    memory_bandwidth_gbps: float  # GB/s
+    cuda_cores: int
+    tensor_cores: int
+    rt_cores: int
+    texture_units: int
+    raster_pipelines: int
+    streaming_multiprocessors: int
+    fp16_tflops: float  # dense tensor-core FP16
+    fp32_tflops: float
+    tf32_tflops: float
+    int8_tops: float
+    compute_capability: float
+    interface_generation: int  # PCIe generation
+    form_factor: str  # "SXM" or "PCIe"
+    nvlink: bool
+    nvlink_bandwidth_gbps: float  # per-direction aggregate; 0 if no NVLink
+    pcie_bandwidth_gbps: float
+    tdp_watts: float
+    # Architecture generation index used as an ordinal ML feature
+    # (Volta=0, Turing=1, Ampere=2, Hopper=3).
+    generation_index: int = field(default=0)
+
+    def interconnect_bandwidth_gbps(self) -> float:
+        """Effective GPU-to-GPU bandwidth used for tensor-parallel collectives."""
+        return self.nvlink_bandwidth_gbps if self.nvlink else self.pcie_bandwidth_gbps
+
+    def feature_dict(self) -> dict[str, float]:
+        """Numeric feature vector entries for the recommendation tool."""
+        return {
+            "gpu_memory_gb": self.memory_gb,
+            "gpu_memory_bandwidth_gbps": self.memory_bandwidth_gbps,
+            "gpu_cuda_cores": float(self.cuda_cores),
+            "gpu_tensor_cores": float(self.tensor_cores),
+            "gpu_rt_cores": float(self.rt_cores),
+            "gpu_texture_units": float(self.texture_units),
+            "gpu_raster_pipelines": float(self.raster_pipelines),
+            "gpu_sms": float(self.streaming_multiprocessors),
+            "gpu_fp16_tflops": self.fp16_tflops,
+            "gpu_fp32_tflops": self.fp32_tflops,
+            "gpu_tf32_tflops": self.tf32_tflops,
+            "gpu_int8_tops": self.int8_tops,
+            "gpu_compute_capability": self.compute_capability,
+            "gpu_interface_generation": float(self.interface_generation),
+            "gpu_is_sxm": 1.0 if self.form_factor == "SXM" else 0.0,
+            "gpu_nvlink": 1.0 if self.nvlink else 0.0,
+            "gpu_generation_index": float(self.generation_index),
+        }
+
+
+def _spec(**kwargs) -> GPUSpec:
+    return GPUSpec(**kwargs)
+
+
+#: The GPU types from the paper's Table III (plus A100 80GB from Table I).
+GPU_CATALOG: dict[str, GPUSpec] = {
+    "H100-80GB": _spec(
+        name="H100-80GB",
+        architecture="Hopper",
+        memory_gb=80.0,
+        memory_bandwidth_gbps=3350.0,
+        cuda_cores=16896,
+        tensor_cores=528,
+        rt_cores=0,
+        texture_units=528,
+        raster_pipelines=24,
+        streaming_multiprocessors=132,
+        fp16_tflops=989.0,
+        fp32_tflops=67.0,
+        tf32_tflops=494.0,
+        int8_tops=1979.0,
+        compute_capability=9.0,
+        interface_generation=5,
+        form_factor="SXM",
+        nvlink=True,
+        nvlink_bandwidth_gbps=900.0,
+        pcie_bandwidth_gbps=128.0,
+        tdp_watts=700.0,
+        generation_index=3,
+    ),
+    "A100-80GB": _spec(
+        name="A100-80GB",
+        architecture="Ampere",
+        memory_gb=80.0,
+        memory_bandwidth_gbps=2039.0,
+        cuda_cores=6912,
+        tensor_cores=432,
+        rt_cores=0,
+        texture_units=432,
+        raster_pipelines=160,
+        streaming_multiprocessors=108,
+        fp16_tflops=312.0,
+        fp32_tflops=19.5,
+        tf32_tflops=156.0,
+        int8_tops=624.0,
+        compute_capability=8.0,
+        interface_generation=4,
+        form_factor="SXM",
+        nvlink=True,
+        nvlink_bandwidth_gbps=600.0,
+        pcie_bandwidth_gbps=64.0,
+        tdp_watts=400.0,
+        generation_index=2,
+    ),
+    "A100-40GB": _spec(
+        name="A100-40GB",
+        architecture="Ampere",
+        memory_gb=40.0,
+        memory_bandwidth_gbps=1555.0,
+        cuda_cores=6912,
+        tensor_cores=432,
+        rt_cores=0,
+        texture_units=432,
+        raster_pipelines=160,
+        streaming_multiprocessors=108,
+        fp16_tflops=312.0,
+        fp32_tflops=19.5,
+        tf32_tflops=156.0,
+        int8_tops=624.0,
+        compute_capability=8.0,
+        interface_generation=4,
+        form_factor="SXM",
+        nvlink=True,
+        nvlink_bandwidth_gbps=600.0,
+        pcie_bandwidth_gbps=64.0,
+        tdp_watts=400.0,
+        generation_index=2,
+    ),
+    "A10-24GB": _spec(
+        name="A10-24GB",
+        architecture="Ampere",
+        memory_gb=24.0,
+        memory_bandwidth_gbps=600.0,
+        cuda_cores=9216,
+        tensor_cores=288,
+        rt_cores=72,
+        texture_units=288,
+        raster_pipelines=96,
+        streaming_multiprocessors=72,
+        fp16_tflops=125.0,
+        fp32_tflops=31.2,
+        tf32_tflops=62.5,
+        int8_tops=250.0,
+        compute_capability=8.6,
+        interface_generation=4,
+        form_factor="PCIe",
+        nvlink=False,
+        nvlink_bandwidth_gbps=0.0,
+        pcie_bandwidth_gbps=64.0,
+        tdp_watts=150.0,
+        generation_index=2,
+    ),
+    "T4-16GB": _spec(
+        name="T4-16GB",
+        architecture="Turing",
+        memory_gb=16.0,
+        memory_bandwidth_gbps=320.0,
+        cuda_cores=2560,
+        tensor_cores=320,
+        rt_cores=40,
+        texture_units=160,
+        raster_pipelines=64,
+        streaming_multiprocessors=40,
+        fp16_tflops=65.0,
+        fp32_tflops=8.1,
+        tf32_tflops=0.0,
+        int8_tops=130.0,
+        compute_capability=7.5,
+        interface_generation=3,
+        form_factor="PCIe",
+        nvlink=False,
+        nvlink_bandwidth_gbps=0.0,
+        pcie_bandwidth_gbps=32.0,
+        tdp_watts=70.0,
+        generation_index=1,
+    ),
+    "V100-16GB": _spec(
+        name="V100-16GB",
+        architecture="Volta",
+        memory_gb=16.0,
+        memory_bandwidth_gbps=900.0,
+        cuda_cores=5120,
+        tensor_cores=640,
+        rt_cores=0,
+        texture_units=320,
+        raster_pipelines=128,
+        streaming_multiprocessors=80,
+        fp16_tflops=125.0,
+        fp32_tflops=15.7,
+        tf32_tflops=0.0,
+        int8_tops=0.0,
+        compute_capability=7.0,
+        interface_generation=3,
+        form_factor="SXM",
+        nvlink=True,
+        nvlink_bandwidth_gbps=300.0,
+        pcie_bandwidth_gbps=32.0,
+        tdp_watts=300.0,
+        generation_index=0,
+    ),
+}
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU type by name, raising ``KeyError`` with suggestions."""
+    try:
+        return GPU_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(GPU_CATALOG))
+        raise KeyError(f"unknown GPU type {name!r}; known types: {known}") from None
+
+
+def list_gpus() -> list[str]:
+    """Names of all GPU types in the catalog."""
+    return list(GPU_CATALOG)
+
+
+# Sanity: all numeric datasheet fields must be non-negative.
+for _g in GPU_CATALOG.values():
+    for _f in fields(_g):
+        _v = getattr(_g, _f.name)
+        if isinstance(_v, (int, float)) and not isinstance(_v, bool) and _v < 0:
+            raise ValueError(f"negative datasheet value {_f.name}={_v} for {_g.name}")

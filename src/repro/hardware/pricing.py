@@ -1,0 +1,71 @@
+"""GPU pricing tables.
+
+The paper uses hourly on-demand GPU instance prices from AWS as the cost
+metric c(G) in Eq. (1), and notes that "the user of LLM-Pilot could also
+plug in their own pricing table". We ship an AWS-like default table
+(per-GPU hourly cost derived from the instance families that carry each
+GPU) and support custom tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.profile import GPUProfile
+
+__all__ = ["PricingTable", "aws_like_pricing"]
+
+#: Hourly per-GPU prices (USD), derived from AWS on-demand instance prices
+#: divided by GPU count: p5.48xlarge (8xH100), p4d.24xlarge (8xA100-40GB),
+#: p4de.24xlarge (8xA100-80GB), g5.xlarge (1xA10), g4dn.xlarge (1xT4),
+#: p3.2xlarge (1xV100).
+_AWS_PER_GPU_HOURLY: dict[str, float] = {
+    "H100-80GB": 12.29,
+    "A100-80GB": 5.12,
+    "A100-40GB": 4.10,
+    "A10-24GB": 1.01,
+    "T4-16GB": 0.53,
+    "V100-16GB": 3.06,
+}
+
+
+@dataclass(frozen=True)
+class PricingTable:
+    """Maps GPU types to hourly per-GPU cost; c(G) = count * per-GPU price."""
+
+    per_gpu_hourly: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, price in self.per_gpu_hourly.items():
+            if price < 0:
+                raise ValueError(f"negative price for {name}: {price}")
+
+    def gpu_price(self, gpu_name: str) -> float:
+        try:
+            return self.per_gpu_hourly[gpu_name]
+        except KeyError:
+            known = ", ".join(sorted(self.per_gpu_hourly))
+            raise KeyError(
+                f"no price for GPU type {gpu_name!r}; priced types: {known}"
+            ) from None
+
+    def pod_cost(self, profile: GPUProfile) -> float:
+        """Hourly cost of a single pod running on ``profile`` — c(G)."""
+        return self.gpu_price(profile.gpu.name) * profile.count
+
+    def deployment_cost(self, profile: GPUProfile, pods: int) -> float:
+        """Hourly cost of ``pods`` replicas on ``profile`` — n * c(G)."""
+        if pods < 0:
+            raise ValueError(f"pod count must be >= 0, got {pods}")
+        return self.pod_cost(profile) * pods
+
+    def with_override(self, gpu_name: str, price: float) -> "PricingTable":
+        """A copy of the table with one price replaced (custom user tables)."""
+        table = dict(self.per_gpu_hourly)
+        table[gpu_name] = price
+        return PricingTable(per_gpu_hourly=table)
+
+
+def aws_like_pricing() -> PricingTable:
+    """The default AWS-like pricing table used throughout the evaluation."""
+    return PricingTable(per_gpu_hourly=dict(_AWS_PER_GPU_HOURLY))

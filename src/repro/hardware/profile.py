@@ -1,0 +1,93 @@
+"""GPU profiles: the (GPU type, GPU count) pairs considered for deployment.
+
+The paper defines a *GPU profile* as "the number and type of GPUs assigned
+to each pod" (§II-C). When the count exceeds one, the LLM's weights and
+all computation are sharded across the GPUs tensor-parallel. The paper's
+dataset uses 14 profiles: {1,2,4}× for H100, A100-40GB, T4, V100 and
+{1,2}× for A10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import GPUSpec, get_gpu
+
+__all__ = ["GPUProfile", "default_profiles", "parse_profile"]
+
+
+@dataclass(frozen=True)
+class GPUProfile:
+    """Number and type of GPUs backing one inference-service pod."""
+
+    gpu: GPUSpec
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"GPU count must be >= 1, got {self.count}")
+
+    @property
+    def name(self) -> str:
+        return f"{self.count}x{self.gpu.name}"
+
+    @property
+    def total_memory_gb(self) -> float:
+        """Aggregate memory across the tensor-parallel group."""
+        return self.gpu.memory_gb * self.count
+
+    @property
+    def total_memory_bandwidth_gbps(self) -> float:
+        return self.gpu.memory_bandwidth_gbps * self.count
+
+    @property
+    def total_fp16_tflops(self) -> float:
+        return self.gpu.fp16_tflops * self.count
+
+    @property
+    def is_tensor_parallel(self) -> bool:
+        return self.count > 1
+
+    def feature_dict(self) -> dict[str, float]:
+        """Feature vector entries describing this profile (paper §IV-B1)."""
+        feats = self.gpu.feature_dict()
+        feats["gpu_count"] = float(self.count)
+        feats["profile_total_memory_gb"] = self.total_memory_gb
+        feats["profile_total_bandwidth_gbps"] = self.total_memory_bandwidth_gbps
+        feats["profile_total_fp16_tflops"] = self.total_fp16_tflops
+        return feats
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: Per-GPU-type counts matching Table III's 14 profiles.
+_DEFAULT_COUNTS: dict[str, tuple[int, ...]] = {
+    "H100-80GB": (1, 2, 4),
+    "A100-40GB": (1, 2, 4),
+    "A10-24GB": (1, 2),
+    "T4-16GB": (1, 2, 4),
+    "V100-16GB": (1, 2, 4),
+}
+
+
+def default_profiles() -> list[GPUProfile]:
+    """The 14 GPU profiles benchmarked in the paper (Table III)."""
+    profiles = []
+    for gpu_name, counts in _DEFAULT_COUNTS.items():
+        gpu = get_gpu(gpu_name)
+        for count in counts:
+            profiles.append(GPUProfile(gpu=gpu, count=count))
+    return profiles
+
+
+def parse_profile(name: str) -> GPUProfile:
+    """Parse a profile name like ``"2xA100-40GB"`` back into a profile."""
+    if "x" not in name:
+        raise ValueError(f"profile name must look like '2xA100-40GB', got {name!r}")
+    count_str, _, gpu_name = name.partition("x")
+    try:
+        count = int(count_str)
+    except ValueError:
+        raise ValueError(f"invalid GPU count in profile name {name!r}") from None
+    return GPUProfile(gpu=get_gpu(gpu_name), count=count)

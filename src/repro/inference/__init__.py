@@ -1,0 +1,31 @@
+"""Inference-server simulator (TGIS stand-in): continuous batching engine,
+analytic cost model, memory/OOM accounting and request records."""
+
+from repro.inference.request import InferenceRequest, RequestResult
+from repro.inference.costmodel import CostModel, CostModelConfig
+from repro.inference.memory import (
+    MemoryModel,
+    MemoryConfig,
+    CornerCaseBatch,
+    corner_case_batches,
+)
+from repro.inference.engine import ContinuousBatchingEngine, EngineStats
+from repro.inference.server import InferenceServer, DeploymentSpec
+from repro.inference.steadystate import SteadyStateEstimate, SteadyStateEstimator
+
+__all__ = [
+    "InferenceRequest",
+    "RequestResult",
+    "CostModel",
+    "CostModelConfig",
+    "MemoryModel",
+    "MemoryConfig",
+    "CornerCaseBatch",
+    "corner_case_batches",
+    "ContinuousBatchingEngine",
+    "EngineStats",
+    "InferenceServer",
+    "DeploymentSpec",
+    "SteadyStateEstimate",
+    "SteadyStateEstimator",
+]

@@ -1,0 +1,302 @@
+"""Discrete-event continuous-batching engine (TGIS stand-in).
+
+The engine implements the server-side scheduling the paper describes
+(§II-B): a single batch of in-flight requests; when requests finish, new
+requests are admitted from the FIFO queue as long as their *weight*
+(total input+output tokens, times client batch size) fits under the
+configured maximum batch weight. Prompt processing (prefill) of newly
+admitted requests blocks decoding — which is what makes inter-token
+latency grow with arrival rate before memory saturation, and the
+time-to-first-token jump once the batch weight is exhausted and requests
+queue.
+
+Each scheduler iteration advances virtual time by the cost-model step
+time (with a small seeded lognormal jitter, playing the role of real
+measurement noise). Per-token client timestamps are tracked exactly:
+every decode step records, for each active request, the gap since that
+request's previous token.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.profile import GPUProfile
+from repro.inference.costmodel import CostModel
+from repro.inference.request import InferenceRequest, RequestResult
+from repro.models.llm import LLMSpec
+from repro.utils.rng import derive_rng
+
+__all__ = ["ContinuousBatchingEngine", "EngineStats"]
+
+
+@dataclass
+class _Active:
+    """Server-side state of one in-flight request."""
+
+    request: InferenceRequest
+    submitted_at: float
+    first_token_at: float = -1.0
+    generated: int = 0
+    last_token_at: float = -1.0
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.output_tokens
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters exposed after (or during) a run."""
+
+    steps: int = 0
+    prefill_steps: int = 0
+    decode_steps: int = 0
+    tokens_generated: int = 0  # client-visible tokens (batch entries counted)
+    requests_completed: int = 0
+    busy_time_s: float = 0.0
+
+
+class ContinuousBatchingEngine:
+    """Single-pod inference server simulator."""
+
+    def __init__(
+        self,
+        llm: LLMSpec,
+        profile: GPUProfile,
+        max_batch_weight: int,
+        cost_model: CostModel | None = None,
+        max_batch_requests: int = 256,
+        seed: int = 0,
+        noise_sigma: float = 0.03,
+        admission_lookahead: int = 32,
+        starvation_timeout_s: float = 60.0,
+    ) -> None:
+        if max_batch_weight < 2:
+            raise ValueError(f"max_batch_weight must be >= 2, got {max_batch_weight}")
+        if max_batch_requests < 1:
+            raise ValueError("max_batch_requests must be >= 1")
+        self.llm = llm
+        self.profile = profile
+        self.max_batch_weight = int(max_batch_weight)
+        self.max_batch_requests = max_batch_requests
+        self.cost = cost_model or CostModel(llm, profile)
+        self.noise_sigma = noise_sigma
+        self.admission_lookahead = admission_lookahead
+        self.starvation_timeout_s = starvation_timeout_s
+        self._rng = derive_rng(seed, "engine", llm.name, profile.name)
+
+        self._time = 0.0
+        self._queue: deque[tuple[InferenceRequest, float]] = deque()
+        self._active: list[_Active] = []
+        self._batch_weight = 0  # committed weight of active requests
+        self._kv_tokens = 0  # tokens currently resident in the KV cache
+        self._itl_gaps: list[np.ndarray] = []
+        # (ttft, input_tokens) recorded at first-token time, so TTFT stats
+        # exist even for requests that do not finish within the experiment.
+        self._ttft_records: list[tuple[float, int]] = []
+        self.stats = EngineStats()
+
+    # ---- public API -----------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        """Current virtual time (seconds since engine start)."""
+        return self._time
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def active_requests(self) -> int:
+        return len(self._active)
+
+    @property
+    def batch_weight_in_use(self) -> int:
+        return self._batch_weight
+
+    def submit(self, request: InferenceRequest, arrival_time: float | None = None) -> None:
+        """Enqueue ``request``.
+
+        ``arrival_time`` records when the client actually sent the request
+        (open-loop harnesses submit arrivals that occurred during the
+        previous scheduler step); it must not lie in the engine's future.
+        Defaults to the current virtual time (closed-loop behaviour).
+        """
+        if request.weight > self.max_batch_weight:
+            raise ValueError(
+                f"request weight {request.weight} exceeds the maximum batch "
+                f"weight {self.max_batch_weight}; the workload generator and "
+                "batch-weight tuner must agree on request limits"
+            )
+        if arrival_time is None:
+            arrival_time = self._time
+        elif arrival_time > self._time + 1e-9:
+            raise ValueError(
+                f"arrival_time {arrival_time} is in the engine's future "
+                f"(now {self._time}); advance_to() it first"
+            )
+        self._queue.append((request, float(arrival_time)))
+
+    def advance_to(self, t: float) -> None:
+        """Move virtual time forward to ``t`` (idle gap, no work done)."""
+        if t > self._time:
+            self._time = t
+
+    def has_work(self) -> bool:
+        return bool(self._queue or self._active)
+
+    def step(self) -> list[RequestResult]:
+        """Run one scheduler iteration; returns requests completed in it."""
+        if not self.has_work():
+            return []
+        self.stats.steps += 1
+        admitted = self._admit()
+        if admitted:
+            return self._prefill(admitted)
+        return self._decode()
+
+    def run_until(self, t_end: float, max_steps: int | None = None) -> list[RequestResult]:
+        """Step until virtual time reaches ``t_end`` or work runs out."""
+        completed: list[RequestResult] = []
+        steps = 0
+        while self._time < t_end and self.has_work():
+            completed.extend(self.step())
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                break
+        return completed
+
+    def itl_samples(self) -> np.ndarray:
+        """All client-observed inter-token gaps recorded so far."""
+        if not self._itl_gaps:
+            return np.empty(0)
+        return np.concatenate(self._itl_gaps)
+
+    def reset_metrics(self) -> None:
+        """Drop all collected metric samples and counters (warmup support).
+
+        Engine state (active batch, queue, virtual time) is untouched —
+        only the measurement side restarts, as a benchmark harness does
+        after its warmup phase.
+        """
+        self._itl_gaps.clear()
+        self._ttft_records.clear()
+        self.stats = EngineStats()
+
+    def ttft_samples(self) -> tuple[np.ndarray, np.ndarray]:
+        """(ttft_seconds, input_tokens) for every first token served."""
+        if not self._ttft_records:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        ttft = np.array([r[0] for r in self._ttft_records])
+        inputs = np.array([r[1] for r in self._ttft_records], dtype=np.int64)
+        return ttft, inputs
+
+    # ---- internals --------------------------------------------------------
+
+    def _noise(self) -> float:
+        if self.noise_sigma <= 0:
+            return 1.0
+        return float(self._rng.lognormal(0.0, self.noise_sigma))
+
+    def _admit(self) -> list[_Active]:
+        """Admission from the waiting queue under the batch-weight cap.
+
+        The scheduler scans the queue in FIFO order and admits every
+        request that fits the remaining weight budget, looking past a
+        blocked head up to ``admission_lookahead`` entries (as real
+        next-batch selection does). To prevent starvation of large
+        requests, reordering is suspended once the head has waited longer
+        than ``starvation_timeout_s`` — the batch then drains until the
+        head fits.
+        """
+        admitted: list[_Active] = []
+        if not self._queue:
+            return admitted
+        head_wait = self._time - self._queue[0][1]
+        allow_reorder = head_wait < self.starvation_timeout_s
+        budget = self.max_batch_weight - self._batch_weight
+        slots = self.max_batch_requests - len(self._active)
+        skipped: list[tuple[InferenceRequest, float]] = []
+        while self._queue and slots > 0:
+            request, submitted_at = self._queue.popleft()
+            if request.weight <= budget:
+                budget -= request.weight
+                slots -= 1
+                self._batch_weight += request.weight
+                admitted.append(_Active(request=request, submitted_at=submitted_at))
+                continue
+            skipped.append((request, submitted_at))
+            if not allow_reorder or len(skipped) >= self.admission_lookahead:
+                break
+        for item in reversed(skipped):
+            self._queue.appendleft(item)
+        return admitted
+
+    def _prefill(self, admitted: list[_Active]) -> list[RequestResult]:
+        """Prompt-processing pass over the newly admitted requests."""
+        self.stats.prefill_steps += 1
+        prompt_tokens = sum(
+            a.request.input_tokens * a.request.batch_size for a in admitted
+        )
+        dt = self.cost.prefill_time(prompt_tokens) * self._noise()
+        self._time += dt
+        self.stats.busy_time_s += dt
+
+        completed: list[RequestResult] = []
+        for a in admitted:
+            a.first_token_at = self._time
+            a.last_token_at = self._time
+            a.generated = 1  # the prompt phase emits the first output token
+            self._ttft_records.append(
+                (self._time - a.submitted_at, a.request.input_tokens)
+            )
+            self._kv_tokens += (a.request.input_tokens + 1) * a.request.batch_size
+            self.stats.tokens_generated += a.request.batch_size
+            if a.done:
+                completed.append(self._finish(a))
+            else:
+                self._active.append(a)
+        return completed
+
+    def _decode(self) -> list[RequestResult]:
+        """One decode step: every active sequence gains one token."""
+        self.stats.decode_steps += 1
+        n_seqs = sum(a.request.batch_size for a in self._active)
+        dt = self.cost.decode_step_time(n_seqs, self._kv_tokens) * self._noise()
+        self._time += dt
+        self.stats.busy_time_s += dt
+        now = self._time
+
+        gaps = np.empty(len(self._active))
+        still_active: list[_Active] = []
+        completed: list[RequestResult] = []
+        for i, a in enumerate(self._active):
+            gaps[i] = now - a.last_token_at
+            a.last_token_at = now
+            a.generated += 1
+            self._kv_tokens += a.request.batch_size
+            self.stats.tokens_generated += a.request.batch_size
+            if a.done:
+                completed.append(self._finish(a))
+            else:
+                still_active.append(a)
+        self._itl_gaps.append(gaps)
+        self._active = still_active
+        return completed
+
+    def _finish(self, a: _Active) -> RequestResult:
+        req = a.request
+        self._batch_weight -= req.weight
+        self._kv_tokens -= (req.input_tokens + req.output_tokens) * req.batch_size
+        self.stats.requests_completed += 1
+        return RequestResult(
+            request=req,
+            submitted_at=a.submitted_at,
+            first_token_at=a.first_token_at,
+            finished_at=self._time,
+        )

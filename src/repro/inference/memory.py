@@ -1,0 +1,193 @@
+"""GPU memory accounting and OOM semantics.
+
+Feasibility (Table III) and batch-weight tuning (§III-C2) both reduce to
+one question: does a given batch fit in the profile's aggregate memory
+after the weights are loaded? The model accounts for:
+
+* model weights (serving precision),
+* the KV cache of the batch (batch weight x per-token KV bytes),
+* activation workspace of the largest prefill chunk — quadratic in the
+  prompt length for models served without flash attention, linear with it,
+* a fixed CUDA/runtime reserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.profile import GPUProfile
+from repro.models.llm import LLMSpec
+
+__all__ = ["MemoryModel", "MemoryConfig", "CornerCaseBatch", "corner_case_batches"]
+
+_GB = 1e9
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Constants of the memory model."""
+
+    #: Fraction of physical memory usable by the serving runtime.
+    usable_fraction: float = 0.96
+    #: Fixed runtime reserve per GPU (CUDA context, NCCL buffers...).
+    runtime_reserve_gb: float = 1.7
+    #: Linear activation bytes per prefill token, as a multiple of d_model
+    #: times the parameter byte width.
+    activation_multiplier: float = 28.0
+    #: Workspace bytes per attention-score element for non-flash models
+    #: (one layer's scores materialized at a time).
+    attention_score_bytes: float = 2.0
+
+
+@dataclass(frozen=True)
+class CornerCaseBatch:
+    """A worst-case batch composition for a candidate batch weight.
+
+    ``n_requests`` requests, each with ``input_tokens`` prompt tokens and
+    ``output_tokens`` generation budget; total weight is their sum.
+    """
+
+    name: str
+    n_requests: int
+    input_tokens: int
+    output_tokens: int
+
+    @property
+    def total_weight(self) -> int:
+        return self.n_requests * (self.input_tokens + self.output_tokens)
+
+    @property
+    def max_prefill_tokens(self) -> int:
+        """Largest single-request prompt the server must prefill."""
+        return self.input_tokens
+
+
+class MemoryModel:
+    """Memory accounting for one (LLM, GPU profile) pair."""
+
+    def __init__(
+        self,
+        llm: LLMSpec,
+        profile: GPUProfile,
+        config: MemoryConfig | None = None,
+    ) -> None:
+        self.llm = llm
+        self.profile = profile
+        self.config = config or MemoryConfig()
+
+    # ---- capacity ----------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Usable aggregate memory after the runtime reserve."""
+        cfg = self.config
+        total = self.profile.total_memory_gb * _GB * cfg.usable_fraction
+        return total - cfg.runtime_reserve_gb * _GB * self.profile.count
+
+    @property
+    def weights_fit(self) -> bool:
+        return self.llm.weights_bytes <= self.capacity_bytes
+
+    @property
+    def free_after_weights_bytes(self) -> float:
+        return self.capacity_bytes - self.llm.weights_bytes
+
+    # ---- usage -----------------------------------------------------------------
+
+    def activation_bytes(self, prefill_tokens: int) -> float:
+        """Peak activation workspace for a prefill over ``prefill_tokens``."""
+        cfg = self.config
+        linear = (
+            cfg.activation_multiplier
+            * self.llm.d_model
+            * self.llm.bytes_per_param
+            * prefill_tokens
+        )
+        if self.llm.uses_flash_attention:
+            return linear
+        # Non-flash attention materializes the (T x T) score matrix per head
+        # for one layer at a time.
+        quadratic = (
+            cfg.attention_score_bytes
+            * self.llm.n_heads
+            * float(prefill_tokens) ** 2
+        )
+        return linear + quadratic
+
+    def batch_usage_bytes(self, batch: CornerCaseBatch) -> float:
+        """Peak memory used by weights + KV + activations for ``batch``."""
+        kv = batch.total_weight * self.llm.kv_bytes_per_token
+        act = self.activation_bytes(batch.max_prefill_tokens)
+        return self.llm.weights_bytes + kv + act
+
+    def would_oom(self, batch: CornerCaseBatch) -> bool:
+        return self.batch_usage_bytes(batch) > self.capacity_bytes
+
+    # ---- derived limits ----------------------------------------------------------
+
+    def kv_token_capacity(self) -> int:
+        """Upper bound on KV-resident tokens (ignoring activations)."""
+        free = self.free_after_weights_bytes
+        if free <= 0:
+            return 0
+        return int(free / self.llm.kv_bytes_per_token)
+
+
+def corner_case_batches(
+    max_batch_weight: int,
+    max_input_tokens: int = 4093,
+    min_output_tokens: int = 1,
+) -> list[CornerCaseBatch]:
+    """Worst-case batch compositions for a candidate batch weight.
+
+    Mirrors the paper's tuning step (§III-C2): "a sequence of batches ...
+    designed to test all possible corner cases, with respect to the batch
+    size, number of input and output tokens, that can be constructed
+    according to the given maximum batch weight".
+    """
+    if max_batch_weight < 2:
+        raise ValueError("max_batch_weight must be >= 2")
+    cases = []
+
+    # (1) One request using the whole weight with the longest legal prompt:
+    # stresses prefill activations.
+    inp = min(max_input_tokens, max_batch_weight - min_output_tokens)
+    cases.append(
+        CornerCaseBatch(
+            name="single-long-prompt",
+            n_requests=1,
+            input_tokens=inp,
+            output_tokens=max_batch_weight - inp,
+        )
+    )
+
+    # (2) One request that is almost all generation: stresses KV growth.
+    cases.append(
+        CornerCaseBatch(
+            name="single-long-generation",
+            n_requests=1,
+            input_tokens=1,
+            output_tokens=max_batch_weight - 1,
+        )
+    )
+
+    # (3) Many minimal requests filling the weight: stresses batch size.
+    n = max_batch_weight // 2
+    cases.append(
+        CornerCaseBatch(
+            name="many-small", n_requests=n, input_tokens=1, output_tokens=1
+        )
+    )
+
+    # (4) Balanced medium requests (typical shape at full weight).
+    per_req = 512
+    n_bal = max(1, max_batch_weight // per_req)
+    cases.append(
+        CornerCaseBatch(
+            name="balanced",
+            n_requests=n_bal,
+            input_tokens=per_req // 2,
+            output_tokens=per_req - per_req // 2,
+        )
+    )
+    return cases

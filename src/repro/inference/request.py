@@ -1,0 +1,72 @@
+"""Inference request and response records used by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["InferenceRequest", "RequestResult"]
+
+
+@dataclass
+class InferenceRequest:
+    """One inference request as submitted by a client.
+
+    ``input_tokens``/``output_tokens`` are the ground-truth token counts
+    of the request (the simulator, like a real benchmark harness, forces
+    the generation length via min/max-new-tokens so experiments are
+    reproducible). ``params`` carries the remaining request parameters
+    (decoding method, temperature, ...) for cost-model adjustments.
+    """
+
+    request_id: int
+    input_tokens: int
+    output_tokens: int
+    batch_size: int = 1
+    params: dict[str, float] = field(default_factory=dict)
+    input_text: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.input_tokens < 1:
+            raise ValueError(f"input_tokens must be >= 1, got {self.input_tokens}")
+        if self.output_tokens < 1:
+            raise ValueError(f"output_tokens must be >= 1, got {self.output_tokens}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    @property
+    def weight(self) -> int:
+        """The request's contribution to the batch weight: total input plus
+        output tokens (paper §II-B), times the client-side batch size."""
+        return (self.input_tokens + self.output_tokens) * self.batch_size
+
+
+@dataclass
+class RequestResult:
+    """Completion record with per-token arrival timestamps (client side)."""
+
+    request: InferenceRequest
+    submitted_at: float
+    first_token_at: float
+    finished_at: float
+    token_times: list[float] = field(default_factory=list)
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token: queueing + prompt-processing latency."""
+        return self.first_token_at - self.submitted_at
+
+    @property
+    def normalized_ttft(self) -> float:
+        """TTFT divided by the number of input tokens (paper's nTTFT)."""
+        return self.ttft / self.request.input_tokens
+
+    @property
+    def e2e_latency(self) -> float:
+        return self.finished_at - self.submitted_at
+
+    def inter_token_latencies(self) -> list[float]:
+        """Gaps between successive output tokens, excluding the first token."""
+        return [
+            self.token_times[i] - self.token_times[i - 1]
+            for i in range(1, len(self.token_times))
+        ]

@@ -1,0 +1,90 @@
+"""Inference-server facade (deployment-level view of the engine).
+
+``InferenceServer`` models one TGIS pod: it owns a continuous-batching
+engine plus deployment metadata (CPU cores, pod memory), and exposes the
+paper's deployment sequence — create the pod, wait for the model load,
+then serve. The number of CPU cores and the pod memory are recorded but
+have no performance effect, matching the paper's Fig 4 finding (their MDI
+importance is ~300x below the batch weight's); they only gate validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.profile import GPUProfile
+from repro.inference.costmodel import CostModel, CostModelConfig
+from repro.inference.engine import ContinuousBatchingEngine
+from repro.inference.memory import MemoryModel
+from repro.models.llm import LLMSpec
+
+__all__ = ["DeploymentSpec", "InferenceServer"]
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Pod-level resource declaration (paper §III-C1).
+
+    LLM-Pilot sets the pod memory to 250GB and the CPU-core count to twice
+    the number of GPUs; both are exposed so the Fig 4 sensitivity study
+    can vary them.
+    """
+
+    profile: GPUProfile
+    max_batch_weight: int
+    cpu_cores: int | None = None
+    memory_gb: float = 250.0
+
+    def resolved_cpu_cores(self) -> int:
+        if self.cpu_cores is not None:
+            if self.cpu_cores < 1:
+                raise ValueError("cpu_cores must be >= 1")
+            return self.cpu_cores
+        return 2 * self.profile.count
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0:
+            raise ValueError("pod memory must be positive")
+        if self.max_batch_weight < 2:
+            raise ValueError("max_batch_weight must be >= 2")
+
+
+class InferenceServer:
+    """One deployed inference-service pod."""
+
+    def __init__(
+        self,
+        llm: LLMSpec,
+        spec: DeploymentSpec,
+        seed: int = 0,
+        cost_config: CostModelConfig | None = None,
+    ) -> None:
+        self.llm = llm
+        self.spec = spec
+        self.memory = MemoryModel(llm, spec.profile)
+        if not self.memory.weights_fit:
+            raise MemoryError(
+                f"{llm.name} does not fit on {spec.profile.name}: weights need "
+                f"{llm.weights_bytes / 1e9:.1f}GB, capacity is "
+                f"{self.memory.capacity_bytes / 1e9:.1f}GB"
+            )
+        self.cost = CostModel(llm, spec.profile, config=cost_config)
+        self.engine = ContinuousBatchingEngine(
+            llm=llm,
+            profile=spec.profile,
+            max_batch_weight=spec.max_batch_weight,
+            cost_model=self.cost,
+            seed=seed,
+        )
+        #: Virtual seconds spent creating the pod and loading the model.
+        self.startup_time_s = 30.0 + self.cost.model_load_time()
+
+    @property
+    def profile(self) -> GPUProfile:
+        return self.spec.profile
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InferenceServer({self.llm.name} on {self.spec.profile.name}, "
+            f"W={self.spec.max_batch_weight})"
+        )

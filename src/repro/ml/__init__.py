@@ -1,0 +1,40 @@
+"""From-scratch ML stack (numpy only): histogram trees, random forest with
+MDI importances, monotone-constrained gradient boosting (XGBoost stand-in),
+MLP with Adam, matrix-factorization collaborative filtering, metrics and CV."""
+
+from repro.ml.tree import DecisionTreeRegressor, FeatureBinner, TreeNode
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.mlp import MLPRegressor
+from repro.ml.cf import MatrixFactorization
+from repro.ml.preprocessing import OneHotEncoder, StandardScaler
+from repro.ml.metrics import mae, rmse, r2_score, mape, weighted_mape
+from repro.ml.cv import leave_one_group_out, grid_iter, GridSearch
+from repro.ml.serialize import (
+    tree_to_dict,
+    tree_from_dict,
+    gbm_to_dict,
+    gbm_from_dict,
+    save_gbm,
+    load_gbm,
+)
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "FeatureBinner",
+    "TreeNode",
+    "RandomForestRegressor",
+    "GradientBoostingRegressor",
+    "MLPRegressor",
+    "MatrixFactorization",
+    "OneHotEncoder",
+    "StandardScaler",
+    "mae",
+    "rmse",
+    "r2_score",
+    "mape",
+    "weighted_mape",
+    "leave_one_group_out",
+    "grid_iter",
+    "GridSearch",
+]

@@ -1,0 +1,114 @@
+"""Collaborative filtering by biased matrix factorization.
+
+Backs the Selecta baseline (§V-C): Selecta builds a sparse matrix of
+known (application, configuration) runtimes and predicts the missing
+entries via collaborative filtering (the original work used the
+Surprise library's SVD — the classic Funk-SVD biased matrix
+factorization trained by SGD, which is what we implement here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MatrixFactorization"]
+
+
+class MatrixFactorization:
+    """Funk-SVD: r_ui ~ mu + b_u + b_i + p_u . q_i, trained with SGD."""
+
+    def __init__(
+        self,
+        n_factors: int = 8,
+        n_epochs: int = 200,
+        learning_rate: float = 0.01,
+        reg: float = 0.05,
+        random_state: int = 0,
+    ) -> None:
+        if n_factors < 1:
+            raise ValueError("n_factors must be >= 1")
+        self.n_factors = n_factors
+        self.n_epochs = n_epochs
+        self.learning_rate = learning_rate
+        self.reg = reg
+        self.random_state = random_state
+        self.global_mean_: float = 0.0
+        self.user_bias_: np.ndarray | None = None
+        self.item_bias_: np.ndarray | None = None
+        self.user_factors_: np.ndarray | None = None
+        self.item_factors_: np.ndarray | None = None
+        self.n_users_: int = 0
+        self.n_items_: int = 0
+
+    def fit(
+        self,
+        users: np.ndarray,
+        items: np.ndarray,
+        ratings: np.ndarray,
+        n_users: int | None = None,
+        n_items: int | None = None,
+    ) -> "MatrixFactorization":
+        """Fit on observed entries (user index, item index, value)."""
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        ratings = np.asarray(ratings, dtype=float)
+        if not (len(users) == len(items) == len(ratings)):
+            raise ValueError("users/items/ratings length mismatch")
+        if len(users) == 0:
+            raise ValueError("cannot fit on zero observations")
+        self.n_users_ = int(users.max()) + 1 if n_users is None else n_users
+        self.n_items_ = int(items.max()) + 1 if n_items is None else n_items
+        if users.min() < 0 or items.min() < 0:
+            raise ValueError("indices must be non-negative")
+        if users.max() >= self.n_users_ or items.max() >= self.n_items_:
+            raise ValueError("index out of declared range")
+
+        rng = np.random.default_rng(self.random_state)
+        self.global_mean_ = float(ratings.mean())
+        bu = np.zeros(self.n_users_)
+        bi = np.zeros(self.n_items_)
+        P = rng.normal(0.0, 0.1, size=(self.n_users_, self.n_factors))
+        Q = rng.normal(0.0, 0.1, size=(self.n_items_, self.n_factors))
+
+        lr, reg, mu = self.learning_rate, self.reg, self.global_mean_
+        n_obs = len(ratings)
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n_obs)
+            for k in order:
+                u, i, r = users[k], items[k], ratings[k]
+                pred = mu + bu[u] + bi[i] + P[u] @ Q[i]
+                err = r - pred
+                bu[u] += lr * (err - reg * bu[u])
+                bi[i] += lr * (err - reg * bi[i])
+                pu = P[u].copy()
+                P[u] += lr * (err * Q[i] - reg * P[u])
+                Q[i] += lr * (err * pu - reg * Q[i])
+
+        self.user_bias_, self.item_bias_ = bu, bi
+        self.user_factors_, self.item_factors_ = P, Q
+        return self
+
+    def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        if self.user_factors_ is None:
+            raise RuntimeError("model must be fit before predict")
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.max(initial=-1) >= self.n_users_ or items.max(initial=-1) >= self.n_items_:
+            raise ValueError("index out of range")
+        return (
+            self.global_mean_
+            + self.user_bias_[users]
+            + self.item_bias_[items]
+            + np.einsum("ij,ij->i", self.user_factors_[users], self.item_factors_[items])
+        )
+
+    def predict_full(self) -> np.ndarray:
+        """The completed (n_users, n_items) matrix."""
+        if self.user_factors_ is None:
+            raise RuntimeError("model must be fit before predict_full")
+        return (
+            self.global_mean_
+            + self.user_bias_[:, None]
+            + self.item_bias_[None, :]
+            + self.user_factors_ @ self.item_factors_.T
+        )

@@ -1,0 +1,81 @@
+"""Cross-validation utilities: leave-one-group-out splits and grid search.
+
+The paper tunes hyperparameters with a leave-one-LLM-out procedure
+(§IV-B3): all rows of one LLM form the validation set, the rest train;
+the configuration with the lowest average validation error across splits
+wins. Groups here are LLM names.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["leave_one_group_out", "grid_iter", "GridSearch"]
+
+
+def leave_one_group_out(
+    groups: Sequence[object],
+) -> Iterator[tuple[np.ndarray, np.ndarray, object]]:
+    """Yield (train_idx, val_idx, held_out_group) for each distinct group."""
+    groups_arr = np.asarray(groups, dtype=object)
+    uniques = list(dict.fromkeys(groups_arr.tolist()))
+    if len(uniques) < 2:
+        raise ValueError("leave-one-group-out needs at least 2 groups")
+    for g in uniques:
+        val = np.nonzero(groups_arr == g)[0]
+        train = np.nonzero(groups_arr != g)[0]
+        yield train, val, g
+
+
+def grid_iter(grid: Mapping[str, Sequence[object]]) -> Iterator[dict[str, object]]:
+    """All combinations of a parameter grid, in deterministic order."""
+    if not grid:
+        yield {}
+        return
+    keys = list(grid)
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        yield dict(zip(keys, combo))
+
+
+class GridSearch:
+    """Grid search scored by a user-supplied evaluation callable.
+
+    ``evaluate(params, train_idx, val_idx) -> float`` returns a loss for
+    one split; the mean across leave-one-group-out splits ranks the
+    configurations (lower is better).
+    """
+
+    def __init__(
+        self,
+        grid: Mapping[str, Sequence[object]],
+        evaluate: Callable[[dict[str, object], np.ndarray, np.ndarray], float],
+    ) -> None:
+        self.grid = dict(grid)
+        self.evaluate = evaluate
+        self.results_: list[tuple[dict[str, object], float]] = []
+        self.best_params_: dict[str, object] | None = None
+        self.best_score_: float = float("inf")
+
+    def run(self, groups: Sequence[object]) -> dict[str, object]:
+        """Run the search; returns the best parameter configuration."""
+        splits = list(leave_one_group_out(groups))
+        self.results_ = []
+        self.best_params_ = None
+        self.best_score_ = float("inf")
+        for params in grid_iter(self.grid):
+            scores = []
+            for train_idx, val_idx, _ in splits:
+                score = self.evaluate(params, train_idx, val_idx)
+                if np.isfinite(score):
+                    scores.append(score)
+            mean_score = float(np.mean(scores)) if scores else float("inf")
+            self.results_.append((params, mean_score))
+            if mean_score < self.best_score_:
+                self.best_score_ = mean_score
+                self.best_params_ = params
+        if self.best_params_ is None:
+            raise RuntimeError("grid search produced no finite scores")
+        return self.best_params_

@@ -1,0 +1,172 @@
+"""Multi-layer perceptron regressor trained with Adam (numpy only).
+
+Backs the neural-network baselines of §V-C: PerfNet, PerfNetV2 and
+Morphling (whose meta-model is an MLP fine-tuned on two reference
+measurements of the unseen model). Supports multi-output regression,
+ReLU hidden layers, L2 regularization, mini-batching and warm-started
+fine-tuning (``partial_fit``) for the Morphling adaptation step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MLPRegressor"]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+class MLPRegressor:
+    """Fully-connected regression network with ReLU activations."""
+
+    def __init__(
+        self,
+        hidden_layers: tuple[int, ...] = (64, 64),
+        learning_rate: float = 1e-3,
+        n_epochs: int = 300,
+        batch_size: int = 32,
+        l2: float = 1e-5,
+        random_state: int = 0,
+    ) -> None:
+        if not hidden_layers:
+            raise ValueError("at least one hidden layer is required")
+        if any(h < 1 for h in hidden_layers):
+            raise ValueError("hidden layer sizes must be positive")
+        self.hidden_layers = tuple(hidden_layers)
+        self.learning_rate = learning_rate
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.random_state = random_state
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._adam_m: list[np.ndarray] = []
+        self._adam_v: list[np.ndarray] = []
+        self._adam_t = 0
+        self.n_features_: int = 0
+        self.n_outputs_: int = 0
+        self.loss_curve_: list[float] = []
+
+    # ---- initialization -----------------------------------------------------
+
+    def _init_params(self, n_in: int, n_out: int) -> None:
+        rng = np.random.default_rng(self.random_state)
+        sizes = [n_in, *self.hidden_layers, n_out]
+        self._weights = []
+        self._biases = []
+        for a, b in zip(sizes[:-1], sizes[1:]):
+            # He initialization for ReLU networks.
+            self._weights.append(rng.normal(0.0, np.sqrt(2.0 / a), size=(a, b)))
+            self._biases.append(np.zeros(b))
+        params = self._weights + self._biases
+        self._adam_m = [np.zeros_like(p) for p in params]
+        self._adam_v = [np.zeros_like(p) for p in params]
+        self._adam_t = 0
+
+    # ---- forward / backward ----------------------------------------------------
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        activations = [X]
+        h = X
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            z = h @ W + b
+            h = z if i == len(self._weights) - 1 else _relu(z)
+            activations.append(h)
+        return h, activations
+
+    def _backward(
+        self, activations: list[np.ndarray], grad_out: np.ndarray
+    ) -> list[np.ndarray]:
+        grads: list[np.ndarray] = [None] * (2 * len(self._weights))  # type: ignore[list-item]
+        delta = grad_out
+        for i in range(len(self._weights) - 1, -1, -1):
+            a_prev = activations[i]
+            grads[i] = a_prev.T @ delta + self.l2 * self._weights[i]
+            grads[len(self._weights) + i] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self._weights[i].T) * (activations[i] > 0)
+        return grads
+
+    def _adam_step(self, grads: list[np.ndarray]) -> None:
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        self._adam_t += 1
+        params = self._weights + self._biases
+        for k, (p, g) in enumerate(zip(params, grads)):
+            self._adam_m[k] = beta1 * self._adam_m[k] + (1 - beta1) * g
+            self._adam_v[k] = beta2 * self._adam_v[k] + (1 - beta2) * g * g
+            m_hat = self._adam_m[k] / (1 - beta1**self._adam_t)
+            v_hat = self._adam_v[k] / (1 - beta2**self._adam_t)
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+    # ---- training ------------------------------------------------------------
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "MLPRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y[:, None]
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        self.n_features_ = X.shape[1]
+        self.n_outputs_ = y.shape[1]
+        self._init_params(self.n_features_, self.n_outputs_)
+        self.loss_curve_ = []
+        return self.partial_fit(X, y, sample_weight, n_epochs=self.n_epochs)
+
+    def partial_fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+        n_epochs: int | None = None,
+    ) -> "MLPRegressor":
+        """Continue training from the current parameters (fine-tuning)."""
+        if not self._weights:
+            return self.fit(X, y, sample_weight)
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y[:, None]
+        w = (
+            np.ones(len(y))
+            if sample_weight is None
+            else np.asarray(sample_weight, dtype=float)
+        )
+        w = w / w.mean()
+        n_epochs = self.n_epochs if n_epochs is None else n_epochs
+        rng = np.random.default_rng(self.random_state + 1)
+        n = len(X)
+        batch = min(self.batch_size, n)
+        for _ in range(n_epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                sel = order[start : start + batch]
+                out, acts = self._forward(X[sel])
+                err = out - y[sel]
+                werr = err * w[sel][:, None]
+                epoch_loss += float(np.sum(werr * err))
+                grad_out = 2.0 * werr / len(sel)
+                self._adam_step(self._backward(acts, grad_out))
+            self.loss_curve_.append(epoch_loss / n)
+        return self
+
+    # ---- inference ------------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._weights:
+            raise RuntimeError("model must be fit before predict")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(f"X must have shape (n, {self.n_features_})")
+        out, _ = self._forward(X)
+        return out[:, 0] if self.n_outputs_ == 1 else out

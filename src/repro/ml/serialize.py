@@ -1,0 +1,131 @@
+"""JSON serialization for the tree-based models.
+
+The characterization dataset is produced offline and the recommendation
+tool runs online (paper Fig 5), so the trained performance model must be
+persistable. Trees serialize to plain JSON (no pickle): portable across
+Python versions and safe to load from untrusted storage.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.tree import DecisionTreeRegressor, TreeNode
+
+__all__ = [
+    "tree_to_dict",
+    "tree_from_dict",
+    "gbm_to_dict",
+    "gbm_from_dict",
+    "save_gbm",
+    "load_gbm",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: TreeNode) -> dict:
+    if node.is_leaf:
+        return {"value": node.value, "n": node.n_samples}
+    return {
+        "value": node.value,
+        "n": node.n_samples,
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "gain": node.gain,
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(data: dict) -> TreeNode:
+    node = TreeNode(value=float(data["value"]), n_samples=int(data.get("n", 0)))
+    if "feature" in data:
+        node.feature = int(data["feature"])
+        node.threshold = float(data["threshold"])
+        node.gain = float(data.get("gain", 0.0))
+        node.left = _node_from_dict(data["left"])
+        node.right = _node_from_dict(data["right"])
+    return node
+
+
+def tree_to_dict(tree: DecisionTreeRegressor) -> dict:
+    """Serializable description of a fitted tree (structure only)."""
+    if tree.root_ is None:
+        raise ValueError("tree must be fit before serialization")
+    return {
+        "n_features": tree.n_features_,
+        "root": _node_to_dict(tree.root_),
+        "importances": (
+            tree.feature_importances_.tolist()
+            if tree.feature_importances_ is not None
+            else None
+        ),
+    }
+
+
+def tree_from_dict(data: dict) -> DecisionTreeRegressor:
+    """Reconstruct a prediction-ready tree from :func:`tree_to_dict`."""
+    tree = DecisionTreeRegressor()
+    tree.n_features_ = int(data["n_features"])
+    tree.root_ = _node_from_dict(data["root"])
+    if data.get("importances") is not None:
+        tree.feature_importances_ = np.array(data["importances"])
+    return tree
+
+
+def gbm_to_dict(model: GradientBoostingRegressor) -> dict:
+    """Serializable description of a fitted gradient-boosting model."""
+    if not model.trees_:
+        raise ValueError("model must be fit before serialization")
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": "gradient_boosting_regressor",
+        "n_features": model.n_features_,
+        "base_prediction": model.base_prediction_,
+        "learning_rate": model.learning_rate,
+        "monotone_constraints": {
+            str(k): v for k, v in model.monotone_constraints.items()
+        },
+        "trees": [tree_to_dict(t) for t in model.trees_],
+        "importances": (
+            model.feature_importances_.tolist()
+            if model.feature_importances_ is not None
+            else None
+        ),
+    }
+
+
+def gbm_from_dict(data: dict) -> GradientBoostingRegressor:
+    """Reconstruct a prediction-ready GBM from :func:`gbm_to_dict`."""
+    if data.get("kind") != "gradient_boosting_regressor":
+        raise ValueError(f"not a serialized GBM: kind={data.get('kind')!r}")
+    if data.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported format version {data.get('format_version')!r}"
+        )
+    model = GradientBoostingRegressor(
+        learning_rate=float(data["learning_rate"]),
+        monotone_constraints={
+            int(k): int(v) for k, v in data.get("monotone_constraints", {}).items()
+        },
+    )
+    model.n_features_ = int(data["n_features"])
+    model.base_prediction_ = float(data["base_prediction"])
+    model.trees_ = [tree_from_dict(t) for t in data["trees"]]
+    if data.get("importances") is not None:
+        model.feature_importances_ = np.array(data["importances"])
+    return model
+
+
+def save_gbm(model: GradientBoostingRegressor, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(gbm_to_dict(model), fh)
+
+
+def load_gbm(path: str) -> GradientBoostingRegressor:
+    with open(path) as fh:
+        return gbm_from_dict(json.load(fh))

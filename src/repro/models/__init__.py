@@ -1,0 +1,6 @@
+"""LLM architecture catalog (the 10 models of the paper's Table III)."""
+
+from repro.models.llm import LLMSpec
+from repro.models.catalog import LLM_CATALOG, get_llm, list_llms
+
+__all__ = ["LLMSpec", "LLM_CATALOG", "get_llm", "list_llms"]

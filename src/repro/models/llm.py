@@ -1,0 +1,103 @@
+"""LLM architecture descriptions.
+
+Each LLM is described by the feature set the paper's recommendation tool
+consumes (§IV-B1): model type, encoder-decoder vs decoder-only, numbers of
+parameters / layers / positions / heads, flash-attention usage, vocabulary
+size, relative-attention parameters and training data type — plus the
+architectural fields the inference cost model needs (hidden size, KV-head
+count, feed-forward size, TGIS tensor-parallel support).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LLMSpec"]
+
+_DTYPE_BYTES = {"float16": 2, "bfloat16": 2, "float32": 4}
+
+
+@dataclass(frozen=True)
+class LLMSpec:
+    """Architecture card for one LLM."""
+
+    name: str
+    model_type: str  # e.g. "t5", "llama", "gpt_neox", "codegen", "mpt"
+    is_encoder_decoder: bool
+    n_params_billion: float
+    n_layers: int  # decoder layers (enc-dec models also have n_encoder_layers)
+    n_encoder_layers: int
+    n_heads: int
+    n_kv_heads: int  # 1 for multi-query attention (e.g. starcoder)
+    d_model: int
+    d_ff: int
+    n_positions: int
+    vocab_size: int
+    uses_flash_attention: bool
+    relative_attention_max_distance: int  # 0 when absolute/rotary positions
+    relative_attention_num_buckets: int
+    dtype: str  # training/serving data type
+    tgis_tensor_parallel_supported: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _DTYPE_BYTES:
+            raise ValueError(f"unsupported dtype {self.dtype!r} for {self.name}")
+        if self.n_params_billion <= 0:
+            raise ValueError(f"n_params must be positive for {self.name}")
+        if self.n_kv_heads < 1 or self.n_kv_heads > self.n_heads:
+            raise ValueError(f"invalid n_kv_heads for {self.name}")
+
+    # ---- memory model -------------------------------------------------
+
+    @property
+    def bytes_per_param(self) -> int:
+        return _DTYPE_BYTES[self.dtype]
+
+    @property
+    def weights_bytes(self) -> float:
+        """Bytes needed to hold the model weights in serving precision."""
+        return self.n_params_billion * 1e9 * self.bytes_per_param
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def kv_bytes_per_token(self) -> float:
+        """KV-cache bytes stored per sequence token.
+
+        K and V per decoder layer, over the model's KV heads (multi-query
+        models such as starcoder store a single KV head, which is why they
+        sustain much larger batch weights on the same GPU).
+        """
+        return 2.0 * self.n_layers * self.n_kv_heads * self.head_dim * self.bytes_per_param
+
+    @property
+    def flops_per_token(self) -> float:
+        """Approximate forward-pass FLOPs per processed token (2 * params)."""
+        return 2.0 * self.n_params_billion * 1e9
+
+    # ---- feature engineering ------------------------------------------
+
+    def feature_dict(self) -> dict[str, float]:
+        """Numeric features describing the LLM (paper §IV-B1)."""
+        return {
+            "llm_n_params_billion": self.n_params_billion,
+            "llm_is_encoder_decoder": 1.0 if self.is_encoder_decoder else 0.0,
+            "llm_n_layers": float(self.n_layers),
+            "llm_n_encoder_layers": float(self.n_encoder_layers),
+            "llm_n_heads": float(self.n_heads),
+            "llm_n_kv_heads": float(self.n_kv_heads),
+            "llm_d_model": float(self.d_model),
+            "llm_d_ff": float(self.d_ff),
+            "llm_n_positions": float(self.n_positions),
+            "llm_vocab_size": float(self.vocab_size),
+            "llm_flash_attention": 1.0 if self.uses_flash_attention else 0.0,
+            "llm_rel_attn_max_distance": float(self.relative_attention_max_distance),
+            "llm_rel_attn_num_buckets": float(self.relative_attention_num_buckets),
+            "llm_dtype_bytes": float(self.bytes_per_param),
+            "llm_kv_bytes_per_token": self.kv_bytes_per_token,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

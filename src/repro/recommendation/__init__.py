@@ -1,0 +1,36 @@
+"""GPU recommendation tool (paper §IV): feature engineering, Eq. (4)
+sample weights, the monotone performance model, Eqs. (1)-(3) and HP tuning."""
+
+from repro.recommendation.features import FeatureSpace
+from repro.recommendation.weights import (
+    LatencyConstraints,
+    constraint_proximity_weights,
+)
+from repro.recommendation.perfmodel import (
+    PerfModelHyperparams,
+    PerformanceModel,
+    DEFAULT_HP_GRID,
+)
+from repro.recommendation.recommender import (
+    Recommendation,
+    ProfileAssessment,
+    umax_from_latencies,
+    recommend_from_predictions,
+    GPURecommendationTool,
+)
+from repro.recommendation.hpo import tune_performance_model
+
+__all__ = [
+    "FeatureSpace",
+    "LatencyConstraints",
+    "constraint_proximity_weights",
+    "PerfModelHyperparams",
+    "PerformanceModel",
+    "DEFAULT_HP_GRID",
+    "Recommendation",
+    "ProfileAssessment",
+    "umax_from_latencies",
+    "recommend_from_predictions",
+    "GPURecommendationTool",
+    "tune_performance_model",
+]

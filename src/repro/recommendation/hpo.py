@@ -1,0 +1,90 @@
+"""Hyperparameter tuning for the performance model (paper §IV-B3).
+
+Leave-one-LLM-out cross-validation over the training dataset: for each
+candidate configuration, each LLM in turn acts as the validation set;
+the score is the weighted MAPE (weights from Eq. 4, computed from the
+validation LLM's *true* latencies), averaged over both latency targets
+and all splits. The configuration with the lowest average error wins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import replace
+
+import numpy as np
+
+from repro.characterization.dataset import PerfDataset
+from repro.ml.cv import GridSearch
+from repro.ml.metrics import weighted_mape
+from repro.models.llm import LLMSpec
+from repro.recommendation.features import FeatureSpace
+from repro.recommendation.perfmodel import (
+    DEFAULT_HP_GRID,
+    PerfModelHyperparams,
+    PerformanceModel,
+)
+from repro.recommendation.weights import (
+    LatencyConstraints,
+    constraint_proximity_weights,
+)
+
+__all__ = ["tune_performance_model"]
+
+
+def _subset(dataset: PerfDataset, idx: np.ndarray) -> PerfDataset:
+    return PerfDataset(records=[dataset.records[i] for i in idx])
+
+
+def tune_performance_model(
+    train: PerfDataset,
+    llm_lookup: dict[str, LLMSpec],
+    constraints: LatencyConstraints,
+    grid: Mapping[str, Sequence[object]] | None = None,
+    use_sample_weights: bool = True,
+    use_monotone_constraint: bool = True,
+    random_state: int = 0,
+) -> tuple[PerfModelHyperparams, float]:
+    """Grid-search hyperparameters; returns (best HPs, best CV score)."""
+    grid = dict(grid if grid is not None else DEFAULT_HP_GRID)
+    groups = [r.llm for r in train.records]
+    feature_space = FeatureSpace.fit(
+        [llm_lookup[name] for name in dict.fromkeys(groups)]
+    )
+
+    def evaluate(params: dict, train_idx: np.ndarray, val_idx: np.ndarray) -> float:
+        hp = replace(PerfModelHyperparams(), **params)
+        model = PerformanceModel(
+            feature_space=feature_space,
+            constraints=constraints,
+            hyperparams=hp,
+            use_sample_weights=use_sample_weights,
+            use_monotone_constraint=use_monotone_constraint,
+            random_state=random_state,
+        )
+        fold_train = _subset(train, train_idx)
+        fold_val = _subset(train, val_idx)
+        try:
+            model.fit(fold_train, llm_lookup)
+        except ValueError:
+            return float("inf")
+        rows = [
+            (llm_lookup[r.llm], r.profile, r.concurrent_users)
+            for r in fold_val.records
+        ]
+        X = model.feature_space.transform(rows)
+        y1 = fold_val.column("nttft_median_s")
+        y2 = fold_val.column("itl_median_s")
+        w = constraint_proximity_weights(fold_val, constraints)
+        ok = np.isfinite(y1) & np.isfinite(y2) & (w > 0)
+        if not np.any(ok):
+            return float("inf")
+        p1 = model._model_nttft.predict(X[ok])
+        p2 = model._model_itl.predict(X[ok])
+        return 0.5 * (
+            weighted_mape(y1[ok], p1, w[ok]) + weighted_mape(y2[ok], p2, w[ok])
+        )
+
+    search = GridSearch(grid, evaluate)
+    best = search.run(groups)
+    return replace(PerfModelHyperparams(), **best), search.best_score_

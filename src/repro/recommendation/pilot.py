@@ -1,0 +1,82 @@
+"""LLM-Pilot wrapped in the common recommender interface for evaluation.
+
+Combines the §IV performance model (weighted + monotone GBM) with
+optional inner leave-one-LLM-out hyperparameter tuning, exposing the
+same ``fit`` / ``predict_latencies`` / ``recommend`` contract as the
+§V-C baselines so the Fig 8 harness can compare them uniformly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaseRecommender
+from repro.characterization.dataset import PerfDataset
+from repro.models.llm import LLMSpec
+from repro.recommendation.features import FeatureSpace
+from repro.recommendation.hpo import tune_performance_model
+from repro.recommendation.perfmodel import PerfModelHyperparams, PerformanceModel
+from repro.recommendation.weights import LatencyConstraints
+
+__all__ = ["LLMPilotRecommender"]
+
+
+class LLMPilotRecommender(BaseRecommender):
+    """The paper's method: weighted, monotone GBM latency model."""
+
+    name = "LLM-Pilot"
+    requires_reference = False
+
+    def __init__(
+        self,
+        constraints: LatencyConstraints,
+        hyperparams: PerfModelHyperparams | None = None,
+        tune: bool = False,
+        tuning_grid: Mapping[str, Sequence[object]] | None = None,
+        use_sample_weights: bool = True,
+        use_monotone_constraint: bool = True,
+        random_state: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.constraints = constraints
+        self.hyperparams = hyperparams or PerfModelHyperparams()
+        self.tune = tune
+        self.tuning_grid = tuning_grid
+        self.use_sample_weights = use_sample_weights
+        self.use_monotone_constraint = use_monotone_constraint
+        self.random_state = random_state
+        self.model_: PerformanceModel | None = None
+        self.tuned_hyperparams_: PerfModelHyperparams | None = None
+
+    def fit(self, train: PerfDataset, llm_lookup: dict[str, LLMSpec]) -> None:
+        hp = self.hyperparams
+        if self.tune:
+            hp, _ = tune_performance_model(
+                train,
+                llm_lookup,
+                self.constraints,
+                grid=self.tuning_grid,
+                use_sample_weights=self.use_sample_weights,
+                use_monotone_constraint=self.use_monotone_constraint,
+                random_state=self.random_state,
+            )
+        self.tuned_hyperparams_ = hp
+        feature_space = FeatureSpace.fit([llm_lookup[name] for name in train.llms()])
+        self.model_ = PerformanceModel(
+            feature_space=feature_space,
+            constraints=self.constraints,
+            hyperparams=hp,
+            use_sample_weights=self.use_sample_weights,
+            use_monotone_constraint=self.use_monotone_constraint,
+            random_state=self.random_state,
+        ).fit(train, llm_lookup)
+
+    def predict_latencies(
+        self, llm: LLMSpec, profile: str, user_counts: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self.model_ is None:
+            raise RuntimeError("fit must be called before predict_latencies")
+        return self.model_.predict(llm, profile, list(user_counts))

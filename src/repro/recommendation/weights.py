@@ -1,0 +1,65 @@
+"""Constraint-proximity sample weights (paper Eq. 4).
+
+Each training row's weight is inversely proportional to how far its true
+latency lies from the latency constraint, normalized per (LLM, GPU
+profile) group over the user-count ladder:
+
+    w1(M,G,u) = 1 - |l1(M,G,u) - L1| / max_v |l1(M,G,v) - L1|
+
+and analogously w2 from the ITL constraint; the two are combined by
+arithmetic mean. The regressor therefore concentrates accuracy exactly
+where the umax decision (Eq. 3) is made.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.characterization.dataset import PerfDataset
+
+__all__ = ["LatencyConstraints", "constraint_proximity_weights"]
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencyConstraints:
+    """SLA constraints: L1 on nTTFT, L2 on ITL (seconds)."""
+
+    nttft_s: float
+    itl_s: float
+
+    def __post_init__(self) -> None:
+        if self.nttft_s <= 0 or self.itl_s <= 0:
+            raise ValueError("latency constraints must be positive")
+
+
+def _group_weights(values: np.ndarray, constraint: float) -> np.ndarray:
+    """Eq. (4) for one metric within one (M, G) group."""
+    dist = np.abs(values - constraint)
+    max_dist = np.nanmax(dist)
+    if not np.isfinite(max_dist) or max_dist <= 0:
+        # Every point sits exactly on the constraint (or the group is
+        # degenerate): all points matter equally.
+        return np.ones_like(values)
+    w = 1.0 - dist / max_dist
+    return np.where(np.isfinite(w), w, 0.0)
+
+
+def constraint_proximity_weights(
+    dataset: PerfDataset, constraints: LatencyConstraints
+) -> np.ndarray:
+    """Per-row combined sample weights, aligned with ``dataset.records``."""
+    n = len(dataset)
+    weights = np.ones(n)
+    groups: dict[tuple[str, str], list[int]] = {}
+    for i, r in enumerate(dataset.records):
+        groups.setdefault((r.llm, r.profile), []).append(i)
+    nttft = dataset.column("nttft_median_s")
+    itl = dataset.column("itl_median_s")
+    for idx in groups.values():
+        idx_arr = np.array(idx)
+        w1 = _group_weights(nttft[idx_arr], constraints.nttft_s)
+        w2 = _group_weights(itl[idx_arr], constraints.itl_s)
+        weights[idx_arr] = 0.5 * (w1 + w2)
+    return weights

@@ -1,0 +1,190 @@
+"""Workload archetypes used to synthesize production-like traces.
+
+The paper's traces come from a real multi-tenant inference platform and
+exhibit strong correlation between request parameters (Fig 3). We do not
+have access to those traces, so we synthesize them from *task archetypes*
+— chat, summarization, code generation, information extraction,
+translation and classification — each with its own joint distribution of
+input/output token counts, client batch size and decoding parameters.
+Mixing archetypes (across users and requests) produces the heavy-tailed,
+strongly-correlated marginals the paper's analyses rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Archetype", "DEFAULT_ARCHETYPES"]
+
+
+@dataclass(frozen=True)
+class Archetype:
+    """Joint request-parameter distribution for one task family.
+
+    Token counts are drawn from a correlated bivariate lognormal
+    (``rho`` couples input and output lengths), then clipped to the
+    platform limits. Decoding parameters are drawn conditionally on the
+    archetype's decoding-method mix, which is what couples e.g.
+    temperature and top_k to the token counts in the mixture.
+    """
+
+    name: str
+    weight: float  # mixture weight across the request population
+    log_input_mean: float
+    log_input_sigma: float
+    log_output_mean: float
+    log_output_sigma: float
+    rho: float  # correlation between log input and log output tokens
+    batch_probs: tuple[float, ...]  # P(batch_size = 1..len)
+    p_greedy: float
+    p_sample: float
+    p_beam: float
+    temp_range: tuple[float, float]
+    top_k_choices: tuple[int, ...]
+    top_p_range: tuple[float, float]
+    repetition_penalty_range: tuple[float, float]
+    length_penalty_range: tuple[float, float]
+    max_new_margin: float  # max_new_tokens = output * U(1, 1+margin)
+
+    def __post_init__(self) -> None:
+        total = self.p_greedy + self.p_sample + self.p_beam
+        if not np.isclose(total, 1.0):
+            raise ValueError(f"decoding-method mix must sum to 1 for {self.name}")
+        if not -1.0 < self.rho < 1.0:
+            raise ValueError(f"rho must be in (-1, 1) for {self.name}")
+        if not np.isclose(sum(self.batch_probs), 1.0):
+            raise ValueError(f"batch_probs must sum to 1 for {self.name}")
+
+    def sample_tokens(self, rng: np.random.Generator, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` correlated (input_tokens, output_tokens) pairs."""
+        z1 = rng.standard_normal(n)
+        z2 = self.rho * z1 + np.sqrt(1.0 - self.rho**2) * rng.standard_normal(n)
+        inp = np.exp(self.log_input_mean + self.log_input_sigma * z1)
+        out = np.exp(self.log_output_mean + self.log_output_sigma * z2)
+        inp = np.clip(np.round(inp), 1, 4093).astype(np.int32)
+        out = np.clip(np.round(out), 1, 1500).astype(np.int32)
+        return inp, out
+
+
+DEFAULT_ARCHETYPES: tuple[Archetype, ...] = (
+    Archetype(
+        name="chat",
+        weight=0.34,
+        log_input_mean=np.log(120.0),
+        log_input_sigma=0.85,
+        log_output_mean=np.log(170.0),
+        log_output_sigma=0.75,
+        rho=0.45,
+        batch_probs=(1.0, 0.0, 0.0, 0.0, 0.0),
+        p_greedy=0.15,
+        p_sample=0.85,
+        p_beam=0.0,
+        temp_range=(0.6, 1.1),
+        top_k_choices=(0, 40, 50),
+        top_p_range=(0.85, 1.0),
+        repetition_penalty_range=(1.0, 1.2),
+        length_penalty_range=(1.0, 1.0),
+        max_new_margin=0.6,
+    ),
+    Archetype(
+        name="summarization",
+        weight=0.16,
+        log_input_mean=np.log(1600.0),
+        log_input_sigma=0.55,
+        log_output_mean=np.log(180.0),
+        log_output_sigma=0.45,
+        rho=0.6,
+        batch_probs=(0.7, 0.2, 0.1, 0.0, 0.0),
+        p_greedy=0.55,
+        p_sample=0.25,
+        p_beam=0.2,
+        temp_range=(0.0, 0.4),
+        top_k_choices=(0, 10),
+        top_p_range=(0.9, 1.0),
+        repetition_penalty_range=(1.0, 1.3),
+        length_penalty_range=(0.8, 1.4),
+        max_new_margin=0.4,
+    ),
+    Archetype(
+        name="codegen",
+        weight=0.18,
+        log_input_mean=np.log(420.0),
+        log_input_sigma=0.8,
+        log_output_mean=np.log(380.0),
+        log_output_sigma=0.8,
+        rho=0.55,
+        batch_probs=(0.9, 0.08, 0.02, 0.0, 0.0),
+        p_greedy=0.35,
+        p_sample=0.65,
+        p_beam=0.0,
+        temp_range=(0.1, 0.8),
+        top_k_choices=(0, 40),
+        top_p_range=(0.9, 1.0),
+        repetition_penalty_range=(1.0, 1.1),
+        length_penalty_range=(1.0, 1.0),
+        max_new_margin=0.9,
+    ),
+    Archetype(
+        name="extraction",
+        weight=0.14,
+        log_input_mean=np.log(900.0),
+        log_input_sigma=0.6,
+        log_output_mean=np.log(28.0),
+        log_output_sigma=0.7,
+        rho=0.3,
+        batch_probs=(0.35, 0.25, 0.2, 0.1, 0.1),
+        p_greedy=0.9,
+        p_sample=0.1,
+        p_beam=0.0,
+        temp_range=(0.0, 0.2),
+        top_k_choices=(0,),
+        top_p_range=(1.0, 1.0),
+        repetition_penalty_range=(1.0, 1.0),
+        length_penalty_range=(1.0, 1.0),
+        max_new_margin=1.5,
+    ),
+    Archetype(
+        name="translation",
+        weight=0.1,
+        log_input_mean=np.log(300.0),
+        log_input_sigma=0.7,
+        log_output_mean=np.log(310.0),
+        log_output_sigma=0.7,
+        rho=0.92,
+        batch_probs=(0.5, 0.25, 0.15, 0.06, 0.04),
+        p_greedy=0.5,
+        p_sample=0.2,
+        p_beam=0.3,
+        temp_range=(0.0, 0.3),
+        top_k_choices=(0, 5),
+        top_p_range=(0.95, 1.0),
+        repetition_penalty_range=(1.0, 1.05),
+        length_penalty_range=(0.9, 1.3),
+        max_new_margin=0.5,
+    ),
+    Archetype(
+        name="classification",
+        weight=0.08,
+        log_input_mean=np.log(220.0),
+        log_input_sigma=0.5,
+        log_output_mean=np.log(3.0),
+        log_output_sigma=0.5,
+        rho=0.1,
+        batch_probs=(0.2, 0.2, 0.2, 0.2, 0.2),
+        p_greedy=1.0,
+        p_sample=0.0,
+        p_beam=0.0,
+        temp_range=(0.0, 0.0),
+        top_k_choices=(0,),
+        top_p_range=(1.0, 1.0),
+        repetition_penalty_range=(1.0, 1.0),
+        length_penalty_range=(1.0, 1.0),
+        max_new_margin=3.0,
+    ),
+)
+
+_total = sum(a.weight for a in DEFAULT_ARCHETYPES)
+if not np.isclose(_total, 1.0):
+    raise ValueError(f"archetype weights must sum to 1, got {_total}")

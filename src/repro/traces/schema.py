@@ -1,0 +1,171 @@
+"""Trace dataset schema.
+
+A trace is a record of inference requests sent to an LLM inference
+platform (paper §III-A): for each request we store the user id, the
+timestamp, the serviced LLM, the measured end-to-end latency, and the
+full set of request parameters (token counts, client-side batch size and
+the TGIS-specific decoding parameters).
+
+Storage is columnar (one numpy array per column) which keeps the dataset
+compact and makes the statistical analyses (Spearman correlation, RF
+importance, marginal CDFs) vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TraceDataset", "REQUEST_PARAMS", "CORE_PARAMS", "DECODING_METHODS"]
+
+#: Encoding of the categorical decoding method column.
+DECODING_METHODS = ("greedy", "sample", "beam")
+
+#: The request parameters with the strongest latency impact (paper §III-A):
+#: token counts, client-side batch size and the token-sampling parameters.
+CORE_PARAMS = (
+    "input_tokens",
+    "output_tokens",
+    "batch_size",
+    "decoding_method",
+    "temperature",
+    "top_k",
+    "top_p",
+    "repetition_penalty",
+    "length_penalty",
+    "max_new_tokens",
+)
+
+#: All request-parameter columns (Table II lists 33 additional parameters
+#: beyond the token counts; we model the influential ones plus a tail of
+#: low-impact flags so importance analyses have realistic nuisance columns).
+REQUEST_PARAMS = CORE_PARAMS + (
+    "min_new_tokens",
+    "typical_p",
+    "num_beams",
+    "no_repeat_ngram_size",
+    "truncate_input_tokens",
+    "num_stop_sequences",
+    "stream",
+    "include_input_text",
+    "seed_provided",
+    "return_logprobs",
+    "return_ranks",
+    "return_top_n_tokens",
+    "time_limit_ms",
+    "presence_penalty",
+    "frequency_penalty",
+    "stop_on_eos",
+    "echo",
+    "best_of",
+    "decoder_input_details",
+    "watermark",
+    "adapter_id_set",
+    "guided_decoding",
+    "priority",
+)
+
+#: Columns that are bookkeeping rather than request parameters.
+_META_COLUMNS = ("timestamp", "user_id", "llm_index", "latency_s")
+
+
+@dataclass
+class TraceDataset:
+    """Columnar collection of inference-request records."""
+
+    columns: dict[str, np.ndarray]
+    llm_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        lengths = {name: len(col) for name, col in self.columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"ragged columns: {lengths}")
+        for required in ("timestamp", "user_id", "input_tokens", "output_tokens"):
+            if required not in self.columns:
+                raise ValueError(f"trace dataset missing column {required!r}")
+
+    # ---- basic accessors ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns["timestamp"])
+
+    @property
+    def n_requests(self) -> int:
+        return len(self)
+
+    @property
+    def n_users(self) -> int:
+        return int(np.unique(self.columns["user_id"]).size)
+
+    @property
+    def n_llms(self) -> int:
+        if "llm_index" not in self.columns:
+            return 0
+        return int(np.unique(self.columns["llm_index"]).size)
+
+    def param_names(self) -> list[str]:
+        """Request-parameter column names present in this dataset."""
+        return [p for p in REQUEST_PARAMS if p in self.columns]
+
+    def param_matrix(self, params: list[str] | None = None) -> np.ndarray:
+        """(n_requests, n_params) float matrix of request parameters."""
+        params = params or self.param_names()
+        return np.column_stack([self.columns[p].astype(float) for p in params])
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def select(self, mask: np.ndarray) -> "TraceDataset":
+        """Row subset of the dataset (boolean mask or index array)."""
+        return TraceDataset(
+            columns={k: v[mask] for k, v in self.columns.items()},
+            llm_names=list(self.llm_names),
+        )
+
+    # ---- reporting -------------------------------------------------------
+
+    def time_span_days(self) -> float:
+        ts = self.columns["timestamp"]
+        if len(ts) == 0:
+            return 0.0
+        return float((ts.max() - ts.min()) / 86_400.0)
+
+    def summary(self) -> dict[str, object]:
+        """Characteristics in the shape of the paper's Table II."""
+        inp = self.columns["input_tokens"]
+        out = self.columns["output_tokens"]
+        n_extra = len(self.param_names()) - 3  # beyond input/output/batch
+        return {
+            "time_period_months": self.time_span_days() / 30.44,
+            "n_requests": self.n_requests,
+            "n_users": self.n_users,
+            "n_llms": self.n_llms,
+            "input_tokens_range": (int(inp.min()), int(inp.max())) if len(self) else (0, 0),
+            "output_tokens_range": (int(out.min()), int(out.max())) if len(self) else (0, 0),
+            "batch_size_range": (
+                (int(self.columns["batch_size"].min()), int(self.columns["batch_size"].max()))
+                if "batch_size" in self.columns and len(self)
+                else (0, 0)
+            ),
+            "n_additional_params": n_extra,
+        }
+
+    # ---- persistence ------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist as a compressed ``.npz`` archive."""
+        np.savez_compressed(
+            path, __llm_names__=np.array(self.llm_names, dtype=object), **self.columns
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "TraceDataset":
+        with np.load(path, allow_pickle=True) as archive:
+            llm_names = [str(x) for x in archive["__llm_names__"]]
+            columns = {k: archive[k] for k in archive.files if k != "__llm_names__"}
+        return cls(columns=columns, llm_names=llm_names)
+
+    def nbytes(self) -> int:
+        """In-memory footprint of the trace columns (for the §V-A size study)."""
+        return int(sum(col.nbytes for col in self.columns.values()))

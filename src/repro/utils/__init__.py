@@ -1,0 +1,14 @@
+"""Shared utilities: deterministic RNG handling, ASCII tables, small stats."""
+
+from repro.utils.rng import derive_rng, spawn_seed
+from repro.utils.tables import format_table
+from repro.utils.stats import median, percentile, relative_std
+
+__all__ = [
+    "derive_rng",
+    "spawn_seed",
+    "format_table",
+    "median",
+    "percentile",
+    "relative_std",
+]

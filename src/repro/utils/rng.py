@@ -1,0 +1,48 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library takes an integer seed (or an
+``numpy.random.Generator``) so that experiments are exactly reproducible.
+Sub-streams are derived by hashing a parent seed together with a string
+label, which keeps independent components statistically independent while
+remaining stable across runs and machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["spawn_seed", "derive_rng", "as_rng"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def spawn_seed(seed: int, *labels: object) -> int:
+    """Derive a child seed from ``seed`` and a sequence of labels.
+
+    The derivation is a SHA-256 hash of the parent seed and the labels'
+    ``repr``; it is stable across processes and Python versions (unlike
+    ``hash``) and avoids correlated streams that arise from naive
+    ``seed + i`` schemes.
+    """
+    h = hashlib.sha256()
+    h.update(str(int(seed)).encode())
+    for label in labels:
+        h.update(b"\x1f")
+        h.update(repr(label).encode())
+    return int.from_bytes(h.digest()[:8], "little") & _MASK64
+
+
+def derive_rng(seed: int, *labels: object) -> np.random.Generator:
+    """Return a ``numpy`` Generator seeded from ``seed`` and ``labels``."""
+    return np.random.default_rng(spawn_seed(seed, *labels))
+
+
+def as_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce an int seed / Generator / None into a Generator."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if seed_or_rng is None:
+        return np.random.default_rng()
+    return np.random.default_rng(int(seed_or_rng))

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for benchmark harness output.
+
+The benchmark targets print the same rows/series the paper reports; this
+module renders them as aligned ASCII tables so the output is directly
+comparable to the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_matrix"]
+
+
+def _cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    floatfmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_cell(v, floatfmt) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_matrix(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Sequence[Sequence[object]],
+    floatfmt: str = ".1f",
+    corner: str = "",
+    title: str | None = None,
+) -> str:
+    """Render a labelled matrix (e.g. the Table III feasibility grid)."""
+    headers = [corner, *col_labels]
+    rows = [[label, *row] for label, row in zip(row_labels, values)]
+    return format_table(headers, rows, floatfmt=floatfmt, title=title)

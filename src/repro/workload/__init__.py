@@ -1,0 +1,18 @@
+"""Workload generator (paper §III-B): joint binned request model, corpus
+and request sampling, plus the trace-replay comparator."""
+
+from repro.workload.binning import ParameterBinning, fit_binning, DEFAULT_N_BINS
+from repro.workload.model import RequestModel
+from repro.workload.corpus import Corpus, default_corpus
+from repro.workload.generator import WorkloadGenerator, TraceReplaySampler
+
+__all__ = [
+    "ParameterBinning",
+    "fit_binning",
+    "DEFAULT_N_BINS",
+    "RequestModel",
+    "Corpus",
+    "default_corpus",
+    "WorkloadGenerator",
+    "TraceReplaySampler",
+]

@@ -1,0 +1,103 @@
+"""Equal-frequency binning of request parameters (paper §III-B1).
+
+For each parameter the value range is split into up to 64 bins such that
+each bin holds approximately the same number of requests; true values are
+replaced by their bin-interval centers. Parameters with cardinality below
+the bin budget get one bin per unique value (exact representation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ParameterBinning", "fit_binning", "DEFAULT_N_BINS"]
+
+DEFAULT_N_BINS = 64
+
+
+@dataclass(frozen=True)
+class ParameterBinning:
+    """Binning of one request parameter.
+
+    ``edges`` has ``n_bins + 1`` entries; bin *i* covers
+    ``[edges[i], edges[i+1])`` (last bin closed). ``centers`` holds the
+    representative value of each bin. ``exact`` marks low-cardinality
+    parameters whose centers are the unique values themselves.
+    """
+
+    name: str
+    edges: np.ndarray
+    centers: np.ndarray
+    exact: bool
+    integer: bool
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.centers)
+
+    def assign(self, values: np.ndarray) -> np.ndarray:
+        """Map raw values to bin indices in ``[0, n_bins)``."""
+        values = np.asarray(values, dtype=float)
+        if self.exact:
+            # Exact bins: nearest unique value (robust to float round-trips).
+            idx = np.searchsorted(self.centers, values)
+            idx = np.clip(idx, 0, self.n_bins - 1)
+            left = np.clip(idx - 1, 0, self.n_bins - 1)
+            use_left = np.abs(values - self.centers[left]) < np.abs(
+                values - self.centers[idx]
+            )
+            return np.where(use_left, left, idx).astype(np.int64)
+        idx = np.searchsorted(self.edges, values, side="right") - 1
+        return np.clip(idx, 0, self.n_bins - 1).astype(np.int64)
+
+    def decode(self, bin_indices: np.ndarray) -> np.ndarray:
+        """Map bin indices back to representative parameter values."""
+        out = self.centers[np.asarray(bin_indices, dtype=np.int64)]
+        if self.integer:
+            return np.round(out).astype(np.int64)
+        return out
+
+
+def fit_binning(
+    name: str, values: np.ndarray, n_bins: int = DEFAULT_N_BINS
+) -> ParameterBinning:
+    """Fit an equal-frequency binning for one parameter column."""
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError(f"cannot bin empty column {name!r}")
+    integer = bool(np.all(values == np.round(values)))
+    unique = np.unique(values)
+
+    if unique.size <= n_bins:
+        # One bin per unique value: exact representation.
+        edges = np.concatenate([unique, [unique[-1]]])
+        return ParameterBinning(
+            name=name, edges=edges, centers=unique, exact=True, integer=integer
+        )
+
+    # Equal-frequency edges via quantiles; duplicate edges (from repeated
+    # values) are collapsed, so heavy atoms get their own bins.
+    quantiles = np.linspace(0.0, 1.0, n_bins + 1)
+    edges = np.quantile(values, quantiles)
+    edges = np.unique(edges)
+    if edges.size < 2:
+        edges = np.array([unique[0], unique[-1]])
+    # Bin representative: the median of the training values that fall in
+    # the bin, not the interval midpoint. With equal-frequency binning a
+    # heavy atom (e.g. temperature = 0 for greedy requests) shares a bin
+    # with the following continuous range; the midpoint would displace the
+    # whole atom, wrecking the marginal CDF, while the median preserves it.
+    idx = np.clip(np.searchsorted(edges, values, side="right") - 1, 0, len(edges) - 2)
+    midpoints = 0.5 * (edges[:-1] + edges[1:])
+    centers = midpoints.copy()
+    for b in range(len(centers)):
+        in_bin = values[idx == b]
+        if in_bin.size:
+            centers[b] = np.median(in_bin)
+    return ParameterBinning(
+        name=name, edges=edges, centers=centers, exact=False, integer=integer
+    )

@@ -1,0 +1,75 @@
+"""Designated text corpus for request inputs (paper §III-B2).
+
+The workload generator attaches an input text to each request, "generated
+based on some designated corpus of texts, truncated to match the number
+of input tokens". We ship a small deterministic corpus (public-domain
+style English filler plus code-like fragments) and a whitespace tokenizer,
+which is all the simulator needs — it only consumes the token count, but
+examples and round-trip tests exercise the text path end to end.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["Corpus", "default_corpus"]
+
+_BASE_SENTENCES = (
+    "the quick brown fox jumps over the lazy dog near the quiet river bank",
+    "large language models generate text one token at a time under heavy load",
+    "performance characterization requires realistic workloads and careful tuning",
+    "the cluster administrator benchmarks each service before users arrive",
+    "memory bandwidth bounds the decode phase while compute bounds the prefill",
+    "def process(batch): return [self.generate(request) for request in batch]",
+    "continuous batching interleaves requests with diverse token counts",
+    "for epoch in range(steps): loss = model.forward(inputs).backward()",
+    "summarize the following report into three concise bullet points please",
+    "translate the passage into french preserving technical terminology exactly",
+)
+
+
+class Corpus:
+    """A cyclic token stream with deterministic truncation to k tokens."""
+
+    def __init__(self, sentences: tuple[str, ...] = _BASE_SENTENCES) -> None:
+        if not sentences:
+            raise ValueError("corpus needs at least one sentence")
+        self._tokens = tuple(
+            itertools.chain.from_iterable(s.split() for s in sentences)
+        )
+
+    @property
+    def n_tokens(self) -> int:
+        return len(self._tokens)
+
+    def text_for_tokens(
+        self, n_tokens: int, rng: np.random.Generator | int | None = None
+    ) -> str:
+        """A text with exactly ``n_tokens`` whitespace tokens.
+
+        The starting offset is randomized so concurrent users do not all
+        send byte-identical prompts.
+        """
+        if n_tokens < 0:
+            raise ValueError(f"n_tokens must be >= 0, got {n_tokens}")
+        if n_tokens == 0:
+            return ""
+        rng = as_rng(rng)
+        start = int(rng.integers(0, self.n_tokens))
+        picked = [
+            self._tokens[(start + i) % self.n_tokens] for i in range(n_tokens)
+        ]
+        return " ".join(picked)
+
+    @staticmethod
+    def count_tokens(text: str) -> int:
+        """Token count under the corpus' whitespace tokenizer."""
+        return len(text.split())
+
+
+def default_corpus() -> Corpus:
+    return Corpus()

@@ -1,0 +1,187 @@
+"""The workload generator (paper §III-B) and a trace-replay comparator.
+
+``WorkloadGenerator`` wraps the joint :class:`RequestModel` and produces
+:class:`InferenceRequest` objects whose parameters follow the empirical
+joint distribution of the production traces. ``TraceReplaySampler``
+implements the obvious alternative — drawing raw past requests directly
+from the trace store — which the paper compares against for storage
+footprint and sampling speed (§V-A: the generator is ~35x faster and
+<1MB vs 1.6GB).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.inference.request import InferenceRequest
+from repro.traces.schema import TraceDataset
+from repro.utils.rng import as_rng
+from repro.workload.binning import DEFAULT_N_BINS
+from repro.workload.corpus import Corpus, default_corpus
+from repro.workload.model import RequestModel
+
+__all__ = ["WorkloadGenerator", "TraceReplaySampler"]
+
+_TOKEN_PARAMS = ("input_tokens", "output_tokens", "batch_size")
+
+
+class WorkloadGenerator:
+    """Produces realistic inference requests from a fitted request model."""
+
+    def __init__(
+        self,
+        model: RequestModel,
+        corpus: Corpus | None = None,
+        attach_text: bool = False,
+        independent: bool = False,
+    ) -> None:
+        self.model = model
+        self.corpus = corpus or default_corpus()
+        self.attach_text = attach_text
+        #: When True, parameters are sampled from independent marginals —
+        #: the §V-A ablation that loses cross-parameter correlation.
+        self.independent = independent
+        for required in ("input_tokens", "output_tokens"):
+            if required not in model.params:
+                raise ValueError(f"request model must include {required!r}")
+
+    @classmethod
+    def fit(
+        cls,
+        traces: TraceDataset,
+        params: list[str] | None = None,
+        n_bins: int = DEFAULT_N_BINS,
+        attach_text: bool = False,
+        independent: bool = False,
+    ) -> "WorkloadGenerator":
+        """Fit the internal request model to a trace collection."""
+        model = RequestModel.fit(traces, params=params, n_bins=n_bins)
+        return cls(model, attach_text=attach_text, independent=independent)
+
+    # ---- batch sampling --------------------------------------------------
+
+    def sample_columns(
+        self, n: int, rng: np.random.Generator | int | None = None
+    ) -> dict[str, np.ndarray]:
+        """Vectorized draw of ``n`` requests as a column dict."""
+        return self.model.sample(n, rng=rng, independent=self.independent)
+
+    def max_request_weight(self) -> int:
+        """Largest request weight this generator can emit in joint mode."""
+        return self.model.max_request_weight()
+
+    def sample_requests(
+        self,
+        n: int,
+        rng: np.random.Generator | int | None = None,
+        first_id: int = 0,
+        max_weight: int | None = None,
+    ) -> list[InferenceRequest]:
+        """Draw ``n`` :class:`InferenceRequest` objects.
+
+        ``max_weight`` optionally truncates requests whose weight exceeds
+        the server's maximum batch weight (the platform-side truncation a
+        real server applies). Joint-mode sampling never needs it when the
+        server was tuned against this generator; independent-mode sampling
+        can exceed the joint maximum, which is one of its distortions.
+        """
+        rng = as_rng(rng)
+        cols = self.sample_columns(n, rng=rng)
+        inp = np.maximum(cols["input_tokens"].astype(int), 1)
+        out = np.maximum(cols["output_tokens"].astype(int), 1)
+        batch = (
+            np.maximum(cols["batch_size"].astype(int), 1)
+            if "batch_size" in cols
+            else np.ones(n, dtype=int)
+        )
+        if max_weight is not None:
+            # Shrink generation budget first, then the prompt, to fit.
+            per_seq = np.maximum(max_weight // batch, 2)
+            out = np.minimum(out, np.maximum(per_seq - inp, 1))
+            inp = np.minimum(inp, per_seq - out)
+            inp = np.maximum(inp, 1)
+        extra_params = [p for p in self.model.params if p not in _TOKEN_PARAMS]
+        requests = []
+        for i in range(n):
+            params = {p: float(cols[p][i]) for p in extra_params}
+            text = (
+                self.corpus.text_for_tokens(int(inp[i]), rng=rng)
+                if self.attach_text
+                else None
+            )
+            requests.append(
+                InferenceRequest(
+                    request_id=first_id + i,
+                    input_tokens=int(inp[i]),
+                    output_tokens=int(out[i]),
+                    batch_size=int(batch[i]),
+                    params=params,
+                    input_text=text,
+                )
+            )
+        return requests
+
+    def request_stream(
+        self, rng: np.random.Generator | int | None = None, chunk: int = 256
+    ) -> Iterator[InferenceRequest]:
+        """Infinite stream of requests (used by closed-loop user pools)."""
+        rng = as_rng(rng)
+        next_id = 0
+        while True:
+            for req in self.sample_requests(chunk, rng=rng, first_id=next_id):
+                yield req
+            next_id += chunk
+
+    # ---- reporting ---------------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Storage footprint of the generator (§V-A size comparison)."""
+        return self.model.nbytes()
+
+
+class TraceReplaySampler:
+    """Samples raw past requests directly from the trace collection.
+
+    This is the baseline the paper compares the workload generator
+    against: it requires keeping the full trace store and constructs each
+    request record row by row, the way a replay harness reading a trace
+    database would.
+    """
+
+    def __init__(self, traces: TraceDataset) -> None:
+        if len(traces) == 0:
+            raise ValueError("cannot sample from an empty trace collection")
+        self.traces = traces
+        self._params = traces.param_names()
+
+    def sample_requests(
+        self, n: int, rng: np.random.Generator | int | None = None, first_id: int = 0
+    ) -> list[InferenceRequest]:
+        rng = as_rng(rng)
+        rows = rng.integers(0, len(self.traces), size=n)
+        cols = self.traces.columns
+        requests = []
+        for i, r in enumerate(rows):
+            # Row-oriented record construction (deliberately mirrors reading
+            # one trace entry at a time from the store).
+            record = {p: cols[p][r] for p in self._params}
+            requests.append(
+                InferenceRequest(
+                    request_id=first_id + i,
+                    input_tokens=max(int(record["input_tokens"]), 1),
+                    output_tokens=max(int(record["output_tokens"]), 1),
+                    batch_size=max(int(record.get("batch_size", 1)), 1),
+                    params={
+                        k: float(v)
+                        for k, v in record.items()
+                        if k not in _TOKEN_PARAMS
+                    },
+                )
+            )
+        return requests
+
+    def nbytes(self) -> int:
+        """Footprint of the trace store this sampler must retain."""
+        return self.traces.nbytes()

@@ -1,0 +1,46 @@
+"""Shared fixtures: small synthetic traces, workload generators and a
+reduced characterization dataset (session-scoped — they are expensive)."""
+
+import pytest
+
+from repro.characterization import CharacterizationConfig, CharacterizationTool
+from repro.hardware import parse_profile
+from repro.models import get_llm
+from repro.traces import TraceConfig, TraceSynthesizer
+from repro.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="session")
+def traces():
+    """A small but statistically meaningful trace collection."""
+    config = TraceConfig(n_requests=30_000, n_users=800)
+    return TraceSynthesizer(config=config, seed=11).generate()
+
+
+@pytest.fixture(scope="session")
+def generator(traces):
+    return WorkloadGenerator.fit(traces)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(generator):
+    """Characterization of 4 LLMs on 4 profiles with short experiments."""
+    llms = [
+        get_llm("google/flan-t5-xl"),
+        get_llm("google/flan-t5-xxl"),
+        get_llm("Llama-2-7b"),
+        get_llm("Llama-2-13b"),
+    ]
+    profiles = [
+        parse_profile("1xH100-80GB"),
+        parse_profile("1xA100-40GB"),
+        parse_profile("2xA10-24GB"),
+        parse_profile("4xT4-16GB"),
+    ]
+    tool = CharacterizationTool(
+        generator,
+        CharacterizationConfig(
+            duration_s=15.0, user_counts=(1, 4, 16, 64), seed=5
+        ),
+    )
+    return tool.run(llms, profiles=profiles)

@@ -1,0 +1,213 @@
+"""Tests for the §V-C baseline recommenders."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MorphlingRecommender,
+    PARISRecommender,
+    PerfNetRecommender,
+    PerfNetV2Recommender,
+    RFRecommender,
+    SelectaRecommender,
+    StaticRecommender,
+    REFERENCE_PROFILES,
+)
+from repro.characterization import PerfDataset
+from repro.hardware import aws_like_pricing
+from repro.models import LLM_CATALOG, get_llm
+from repro.recommendation import LatencyConstraints
+
+CONSTRAINTS = LatencyConstraints(nttft_s=0.1, itl_s=0.05)
+LOOKUP = dict(LLM_CATALOG)
+
+
+# The small fixture dataset does not include the paper's reference
+# profiles (1xT4 / 4xH100), so tests use the strongest/weakest profiles
+# that are present.
+_TEST_REFERENCE_PROFILES = ("1xH100-80GB", "4xT4-16GB")
+
+
+@pytest.fixture(scope="session")
+def train_test(small_dataset):
+    dataset = small_dataset.dataset
+    test_llm = "Llama-2-13b"
+    train = dataset.exclude_llm(test_llm)
+    reference = PerfDataset(
+        records=[
+            r
+            for r in dataset.filter(llm=test_llm).records
+            if r.profile in _TEST_REFERENCE_PROFILES
+        ]
+    )
+    return dataset, train, test_llm, reference
+
+
+class TestRF:
+    def test_fit_predict(self, train_test):
+        _, train, test_llm, _ = train_test
+        rf = RFRecommender(n_estimators=20, user_counts=(1, 4, 16, 64))
+        rf.fit(train, LOOKUP)
+        nttft, itl = rf.predict_latencies(get_llm(test_llm), "1xA100-40GB", [1, 4, 16])
+        assert nttft.shape == (3,)
+        assert np.all(np.isfinite(itl))
+
+    def test_recommend_interface(self, train_test):
+        _, train, test_llm, _ = train_test
+        rf = RFRecommender(n_estimators=20, user_counts=(1, 4, 16, 64))
+        rf.fit(train, LOOKUP)
+        rec = rf.recommend(
+            get_llm(test_llm), train.profiles(), aws_like_pricing(), CONSTRAINTS, 50
+        )
+        assert rec.assessments
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RFRecommender().predict_latencies(get_llm("Llama-2-7b"), "1xT4-16GB", [1])
+
+    def test_does_not_require_reference(self):
+        assert not RFRecommender.requires_reference
+        with pytest.raises(NotImplementedError):
+            RFRecommender().observe_reference(get_llm("Llama-2-7b"), PerfDataset())
+
+
+class TestPARIS:
+    def test_requires_reference_flag(self):
+        assert PARISRecommender.requires_reference
+
+    def test_fit_observe_predict(self, train_test):
+        _, train, test_llm, reference = train_test
+        paris = PARISRecommender(n_estimators=20, user_counts=(1, 4, 16, 64))
+        paris.fit(train, LOOKUP)
+        paris.observe_reference(get_llm(test_llm), reference)
+        nttft, itl = paris.predict_latencies(get_llm(test_llm), "1xA100-40GB", [1, 4])
+        assert np.all(np.isfinite(nttft)) and np.all(np.isfinite(itl))
+
+    def test_predict_without_reference_raises(self, train_test):
+        _, train, test_llm, _ = train_test
+        paris = PARISRecommender(n_estimators=10, user_counts=(1, 4, 16, 64))
+        paris.fit(train, LOOKUP)
+        with pytest.raises(RuntimeError, match="observe_reference"):
+            paris.predict_latencies(get_llm(test_llm), "1xA100-40GB", [1])
+
+    def test_reference_vector_imputes_missing(self, train_test):
+        _, train, test_llm, _ = train_test
+        paris = PARISRecommender(n_estimators=10, user_counts=(1, 4, 16, 64))
+        paris.fit(train, LOOKUP)
+        # Empty reference: everything imputed, still finite features.
+        paris.observe_reference(get_llm(test_llm), PerfDataset())
+        assert np.all(np.isfinite(paris._test_ref))
+
+
+class TestSelecta:
+    def test_completion_predicts_for_unseen(self, train_test):
+        _, train, test_llm, reference = train_test
+        sel = SelectaRecommender(n_epochs=40, user_counts=(1, 4, 16, 64))
+        sel.fit(train, LOOKUP)
+        sel.observe_reference(get_llm(test_llm), reference)
+        nttft, itl = sel.predict_latencies(
+            get_llm(test_llm), "1xA100-40GB", [1, 4, 16, 64]
+        )
+        assert np.all(np.isfinite(nttft))
+        assert np.all(nttft > 0)  # log-space factorization keeps positivity
+
+    def test_unknown_column_gives_nan(self, train_test):
+        _, train, test_llm, reference = train_test
+        sel = SelectaRecommender(n_epochs=10, user_counts=(1, 4, 16, 64))
+        sel.fit(train, LOOKUP)
+        sel.observe_reference(get_llm(test_llm), reference)
+        nttft, _ = sel.predict_latencies(get_llm(test_llm), "9xUnknown", [1])
+        assert np.isnan(nttft[0])
+
+    def test_predict_for_wrong_llm_raises(self, train_test):
+        _, train, test_llm, reference = train_test
+        sel = SelectaRecommender(n_epochs=10, user_counts=(1, 4, 16, 64))
+        sel.fit(train, LOOKUP)
+        sel.observe_reference(get_llm(test_llm), reference)
+        with pytest.raises(RuntimeError):
+            sel.predict_latencies(get_llm("google/flan-t5-xl"), "1xA100-40GB", [1])
+
+
+class TestNeuralBaselines:
+    @pytest.mark.parametrize("cls", [PerfNetRecommender, PerfNetV2Recommender])
+    def test_fit_predict_positive_latencies(self, cls, train_test):
+        _, train, test_llm, _ = train_test
+        net = cls(n_epochs=30, user_counts=(1, 4, 16, 64))
+        net.fit(train, LOOKUP)
+        nttft, itl = net.predict_latencies(get_llm(test_llm), "1xA100-40GB", [1, 16])
+        assert np.all(nttft > 0) and np.all(itl > 0)
+
+    def test_perfnet_v2_is_joint(self):
+        assert PerfNetV2Recommender.joint_outputs
+        assert not PerfNetRecommender.joint_outputs
+
+    def test_morphling_finetunes_on_reference(self, train_test):
+        _, train, test_llm, reference = train_test
+        m = MorphlingRecommender(n_epochs=30, finetune_epochs=30,
+                                 user_counts=(1, 4, 16, 64))
+        m.fit(train, LOOKUP)
+        before = m.predict_latencies(get_llm(test_llm), "1xA100-40GB", [1, 16])
+        m.observe_reference(get_llm(test_llm), reference)
+        after = m.predict_latencies(get_llm(test_llm), "1xA100-40GB", [1, 16])
+        # Fine-tuning must change the predictions (reference non-empty).
+        if len(reference) > 0:
+            assert not np.allclose(before[0], after[0])
+
+    def test_morphling_empty_reference_is_safe(self, train_test):
+        _, train, test_llm, _ = train_test
+        m = MorphlingRecommender(n_epochs=20, user_counts=(1, 4, 16, 64))
+        m.fit(train, LOOKUP)
+        m.observe_reference(get_llm(test_llm), PerfDataset())
+        nttft, _ = m.predict_latencies(get_llm(test_llm), "1xA100-40GB", [1])
+        assert np.isfinite(nttft[0])
+
+    def test_morphling_refinetunes_from_meta(self, train_test):
+        """Observing LLM B after LLM A must reset to meta-parameters."""
+        _, train, test_llm, reference = train_test
+        m = MorphlingRecommender(n_epochs=20, finetune_epochs=20,
+                                 user_counts=(1, 4, 16, 64))
+        m.fit(train, LOOKUP)
+        m.observe_reference(get_llm(test_llm), reference)
+        a = m.predict_latencies(get_llm(test_llm), "1xA100-40GB", [1, 4])
+        m.observe_reference(get_llm(test_llm), reference)
+        b = m.predict_latencies(get_llm(test_llm), "1xA100-40GB", [1, 4])
+        np.testing.assert_allclose(a[0], b[0])
+
+
+class TestStatic:
+    def test_policy_selected_from_training_data(self, train_test):
+        dataset, train, test_llm, _ = train_test
+        static = StaticRecommender(
+            constraints=CONSTRAINTS, total_users=50, user_counts=(1, 4, 16, 64)
+        )
+        static.fit(train, LOOKUP)
+        assert static.policy_ is not None
+        profile, pods = static.policy_
+        assert profile in train.profiles()
+        assert pods >= 1
+
+    def test_recommendation_is_fixed(self, train_test):
+        _, train, _, _ = train_test
+        static = StaticRecommender(
+            constraints=CONSTRAINTS, total_users=50, user_counts=(1, 4, 16, 64)
+        )
+        static.fit(train, LOOKUP)
+        r1 = static.recommend(
+            get_llm("Llama-2-13b"), train.profiles(), aws_like_pricing(), CONSTRAINTS, 50
+        )
+        r2 = static.recommend(
+            get_llm("google/flan-t5-xl"), train.profiles(), aws_like_pricing(), CONSTRAINTS, 50
+        )
+        assert (r1.profile, r1.n_pods) == (r2.profile, r2.n_pods)
+
+    def test_recommend_before_fit_raises(self):
+        static = StaticRecommender(constraints=CONSTRAINTS)
+        with pytest.raises(RuntimeError):
+            static.recommend(
+                get_llm("Llama-2-7b"), ["1xT4-16GB"], aws_like_pricing(), CONSTRAINTS, 10
+            )
+
+    def test_no_predictions(self):
+        static = StaticRecommender(constraints=CONSTRAINTS)
+        with pytest.raises(NotImplementedError):
+            static.predict_latencies(get_llm("Llama-2-7b"), "1xT4-16GB", [1])

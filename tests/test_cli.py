@@ -1,0 +1,127 @@
+"""Tests for the repro-pilot command-line interface."""
+
+import pytest
+
+from repro.characterization import PerfDataset
+from repro.cli import build_parser, main
+from repro.traces import TraceDataset
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_traces_args(self):
+        args = build_parser().parse_args(
+            ["traces", "--requests", "500", "--out", "x.npz"]
+        )
+        assert args.command == "traces"
+        assert args.requests == 500
+
+    def test_recommend_defaults(self):
+        args = build_parser().parse_args(
+            ["recommend", "--dataset", "d.npz", "--llm", "Llama-2-7b"]
+        )
+        assert args.users == 200
+        assert args.nttft_ms == 100.0
+        assert args.itl_ms == 50.0
+
+
+class TestCommands:
+    def test_traces_command(self, tmp_path, capsys):
+        out = str(tmp_path / "traces.npz")
+        rc = main(["traces", "--requests", "2000", "--seed", "1", "--out", out])
+        assert rc == 0
+        loaded = TraceDataset.load(out)
+        assert len(loaded) == 2000
+        assert "Wrote 2,000 requests" in capsys.readouterr().out
+
+    def test_characterize_command(self, tmp_path, capsys):
+        out = str(tmp_path / "dataset.npz")
+        rc = main(
+            [
+                "characterize",
+                "--requests", "5000",
+                "--llm", "google/flan-t5-xl",
+                "--llm", "Llama-2-7b",
+                "--duration", "5",
+                "--out", out,
+            ]
+        )
+        assert rc == 0
+        ds = PerfDataset.load(out)
+        assert set(ds.llms()) == {"google/flan-t5-xl", "Llama-2-7b"}
+        assert "Characterized" in capsys.readouterr().out
+
+    def test_characterize_unknown_llm(self, tmp_path, capsys):
+        rc = main(
+            [
+                "characterize",
+                "--requests", "2000",
+                "--llm", "not-a-model",
+                "--out", str(tmp_path / "x.npz"),
+            ]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_recommend_command(self, tmp_path, capsys):
+        dataset_path = str(tmp_path / "dataset.npz")
+        rc = main(
+            [
+                "characterize",
+                "--requests", "5000",
+                "--llm", "google/flan-t5-xl",
+                "--llm", "google/flan-t5-xxl",
+                "--llm", "Llama-2-7b",
+                "--duration", "5",
+                "--out", dataset_path,
+            ]
+        )
+        assert rc == 0
+        rc = main(
+            [
+                "recommend",
+                "--dataset", dataset_path,
+                "--llm", "Llama-2-13b",
+                "--users", "50",
+                "--requests", "5000",
+                "--itl-ms", "80",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc in (0, 1)  # recommendation or honest infeasibility
+        assert "Assessments for Llama-2-13b" in out
+
+    def test_recommend_excludes_own_rows(self, tmp_path, capsys):
+        dataset_path = str(tmp_path / "dataset.npz")
+        main(
+            [
+                "characterize",
+                "--requests", "5000",
+                "--llm", "google/flan-t5-xl",
+                "--llm", "Llama-2-7b",
+                "--duration", "5",
+                "--out", dataset_path,
+            ]
+        )
+        rc = main(
+            [
+                "recommend",
+                "--dataset", dataset_path,
+                "--llm", "Llama-2-7b",
+                "--users", "20",
+                "--requests", "5000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "excluded Llama-2-7b's own rows" in out
+        assert rc in (0, 1)
+
+    def test_info_command(self, capsys):
+        rc = main(["info", "--requests", "3000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LLM catalog" in out
+        assert "Workload generator" in out

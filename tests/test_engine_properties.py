@@ -1,0 +1,148 @@
+"""Property-based tests of continuous-batching engine invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import parse_profile
+from repro.inference import ContinuousBatchingEngine, InferenceRequest
+from repro.models import get_llm
+
+LLM = get_llm("Llama-2-13b")
+PROFILE = parse_profile("1xA100-40GB")
+
+request_strategy = st.builds(
+    lambda i, o, b: (i, o, b),
+    st.integers(1, 800),
+    st.integers(1, 200),
+    st.integers(1, 3),
+)
+
+
+def _run_engine(requests, W=6000, seed=0):
+    engine = ContinuousBatchingEngine(LLM, PROFILE, max_batch_weight=W, seed=seed)
+    results = []
+    submitted = 0
+    for rid, (inp, out, batch) in enumerate(requests):
+        req = InferenceRequest(
+            request_id=rid, input_tokens=inp, output_tokens=out, batch_size=batch
+        )
+        if req.weight > W:
+            continue
+        engine.submit(req)
+        submitted += 1
+    while engine.has_work():
+        results.extend(engine.step())
+    return engine, results, submitted
+
+
+class TestEngineInvariants:
+    @given(st.lists(request_strategy, min_size=1, max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_all_submitted_requests_complete(self, reqs):
+        engine, results, submitted = _run_engine(reqs)
+        assert len(results) == submitted
+        assert engine.stats.requests_completed == submitted
+
+    @given(st.lists(request_strategy, min_size=1, max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_resources_fully_released(self, reqs):
+        engine, _, _ = _run_engine(reqs)
+        assert engine.batch_weight_in_use == 0
+        assert engine._kv_tokens == 0
+        assert engine.active_requests == 0
+        assert engine.queue_depth == 0
+
+    @given(st.lists(request_strategy, min_size=1, max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_token_accounting(self, reqs):
+        engine, results, _ = _run_engine(reqs)
+        expected = sum(r.request.output_tokens * r.request.batch_size for r in results)
+        assert engine.stats.tokens_generated == expected
+
+    @given(st.lists(request_strategy, min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_timestamps_causally_ordered(self, reqs):
+        _, results, _ = _run_engine(reqs)
+        for r in results:
+            assert r.submitted_at <= r.first_token_at <= r.finished_at
+            assert r.ttft >= 0
+            assert r.e2e_latency >= r.ttft
+
+    @given(st.lists(request_strategy, min_size=2, max_size=20), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_itl_gaps_positive(self, reqs, seed):
+        engine, _, _ = _run_engine(reqs, seed=seed)
+        gaps = engine.itl_samples()
+        assert np.all(gaps > 0)
+
+    @given(st.lists(request_strategy, min_size=1, max_size=15))
+    @settings(max_examples=20, deadline=None)
+    def test_time_strictly_monotone_across_steps(self, reqs):
+        engine = ContinuousBatchingEngine(LLM, PROFILE, max_batch_weight=6000, seed=1)
+        for rid, (inp, out, batch) in enumerate(reqs):
+            req = InferenceRequest(
+                request_id=rid, input_tokens=inp, output_tokens=out, batch_size=batch
+            )
+            if req.weight <= 6000:
+                engine.submit(req)
+        last = engine.time
+        while engine.has_work():
+            engine.step()
+            assert engine.time > last
+            last = engine.time
+
+    @given(st.lists(request_strategy, min_size=1, max_size=15))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_weight_never_exceeded(self, reqs):
+        W = 4000
+        engine = ContinuousBatchingEngine(LLM, PROFILE, max_batch_weight=W, seed=2)
+        for rid, (inp, out, batch) in enumerate(reqs):
+            req = InferenceRequest(
+                request_id=rid, input_tokens=inp, output_tokens=out, batch_size=batch
+            )
+            if req.weight <= W:
+                engine.submit(req)
+        while engine.has_work():
+            engine.step()
+            assert engine.batch_weight_in_use <= W
+
+
+class TestWarmupSupport:
+    def test_reset_metrics_clears_samples_keeps_state(self):
+        engine = ContinuousBatchingEngine(LLM, PROFILE, max_batch_weight=6000, seed=0)
+        engine.submit(InferenceRequest(request_id=0, input_tokens=50, output_tokens=40))
+        engine.submit(InferenceRequest(request_id=1, input_tokens=50, output_tokens=400))
+        for _ in range(10):
+            engine.step()
+        t = engine.time
+        assert engine.itl_samples().size > 0
+        engine.reset_metrics()
+        assert engine.itl_samples().size == 0
+        assert engine.ttft_samples()[0].size == 0
+        assert engine.stats.tokens_generated == 0
+        assert engine.time == t  # virtual time untouched
+        assert engine.has_work()  # batch untouched
+
+    def test_warmup_load_test_excludes_transient(self, generator):
+        from repro.characterization import run_load_test
+
+        eng = ContinuousBatchingEngine(LLM, PROFILE, max_batch_weight=12_000, seed=3)
+        res = run_load_test(
+            eng, generator, concurrent_users=4, duration_s=20.0, warmup_s=10.0, seed=3
+        )
+        assert res.requests_completed > 0
+        # All counted completions were submitted after the warmup boundary.
+        eng2 = ContinuousBatchingEngine(LLM, PROFILE, max_batch_weight=12_000, seed=3)
+        res2 = run_load_test(
+            eng2, generator, concurrent_users=4, duration_s=20.0, warmup_s=10.0,
+            seed=3, keep_results=True,
+        )
+        assert all(r.submitted_at >= 10.0 for r in res2.results)
+
+    def test_warmup_validation(self, generator):
+        from repro.characterization import run_load_test
+
+        eng = ContinuousBatchingEngine(LLM, PROFILE, max_batch_weight=12_000, seed=0)
+        with pytest.raises(ValueError):
+            run_load_test(eng, generator, 1, duration_s=5.0, warmup_s=-1.0)

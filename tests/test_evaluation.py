@@ -1,0 +1,162 @@
+"""Tests for the evaluation metrics (Eqs. 5-7), oracle and harness."""
+
+import numpy as np
+import pytest
+
+from repro.characterization import PerfDataset, PerfRecord
+from repro.evaluation import (
+    RecommendationOutcome,
+    best_deployment,
+    score_outcomes,
+    so_score,
+    true_umax,
+)
+from repro.evaluation.harness import EvaluationConfig, evaluate_method, ideal_score
+from repro.hardware import aws_like_pricing
+from repro.models import LLM_CATALOG
+from repro.recommendation import LatencyConstraints, PerfModelHyperparams
+from repro.recommendation.pilot import LLMPilotRecommender
+
+CONSTRAINTS = LatencyConstraints(nttft_s=0.1, itl_s=0.05)
+
+
+def _mk_dataset(rows):
+    ds = PerfDataset()
+    for llm, prof, users, nttft, itl in rows:
+        count, gpu = prof.split("x")
+        ds.add(
+            PerfRecord(
+                llm=llm, profile=prof, gpu_name=gpu, gpu_count=int(count),
+                concurrent_users=users, max_batch_weight=10_000,
+                ttft_median_s=nttft * 100, nttft_median_s=nttft,
+                itl_median_s=itl, throughput_tokens_per_s=10.0, e2e_median_s=1.0,
+            )
+        )
+    return ds
+
+
+class TestOracle:
+    def test_true_umax_from_measured_series(self):
+        ds = _mk_dataset([
+            ("m", "1xT4-16GB", 1, 0.01, 0.01),
+            ("m", "1xT4-16GB", 2, 0.01, 0.02),
+            ("m", "1xT4-16GB", 4, 0.01, 0.08),  # ITL violation
+        ])
+        assert true_umax(ds, "m", "1xT4-16GB", CONSTRAINTS) == 2
+
+    def test_true_umax_no_data_is_zero(self):
+        ds = _mk_dataset([("m", "1xT4-16GB", 1, 0.01, 0.01)])
+        assert true_umax(ds, "m", "9xMissing", CONSTRAINTS) == 0
+
+    def test_best_deployment_minimizes_cost(self):
+        ds = _mk_dataset([
+            # T4 serves 2/pod at $0.53 => 10 users -> 5 pods -> $2.65
+            ("m", "1xT4-16GB", 1, 0.01, 0.01),
+            ("m", "1xT4-16GB", 2, 0.01, 0.02),
+            ("m", "1xT4-16GB", 4, 0.01, 0.09),
+            # A100 serves 4/pod at $4.10 => 10 users -> 3 pods -> $12.3
+            ("m", "1xA100-40GB", 1, 0.01, 0.01),
+            ("m", "1xA100-40GB", 4, 0.01, 0.02),
+        ])
+        best = best_deployment(
+            ds, "m", ds.profiles(), aws_like_pricing(), CONSTRAINTS, total_users=10
+        )
+        assert best.profile == "1xT4-16GB"
+        assert best.n_pods == 5
+        assert best.total_cost == pytest.approx(5 * 0.53)
+
+    def test_best_deployment_none_when_all_infeasible(self):
+        ds = _mk_dataset([("m", "1xT4-16GB", 1, 0.9, 0.9)])
+        assert (
+            best_deployment(ds, "m", ds.profiles(), aws_like_pricing(), CONSTRAINTS, 10)
+            is None
+        )
+
+
+class TestMetrics:
+    def _outcome(self, success_cost=10.0, oracle_cost=8.0, umax=50, pods=4, users=200):
+        return RecommendationOutcome(
+            llm="m", recommended_profile="1xA100-40GB", n_pods=pods,
+            recommended_cost=success_cost, true_umax=umax,
+            oracle_profile="1xT4-16GB", oracle_cost=oracle_cost, total_users=users,
+        )
+
+    def test_success_condition_eq5(self):
+        assert self._outcome(umax=50, pods=4, users=200).success
+        assert not self._outcome(umax=49, pods=4, users=200).success
+
+    def test_no_recommendation_is_failure(self):
+        o = RecommendationOutcome(
+            llm="m", recommended_profile=None, n_pods=0,
+            recommended_cost=float("inf"), true_umax=0,
+            oracle_profile="1xT4-16GB", oracle_cost=1.0, total_users=10,
+        )
+        assert not o.success
+
+    def test_overspend_eq6(self):
+        o = self._outcome(success_cost=12.0, oracle_cost=8.0)
+        assert o.overspend == pytest.approx(0.5)
+
+    def test_overspend_nan_on_failure(self):
+        assert np.isnan(self._outcome(umax=1).overspend)
+
+    def test_so_score_eq7(self):
+        assert so_score(1.0, 0.0) == 1.0
+        assert so_score(0.0, 0.0) == 0.0
+        # Harmonic mean of 0.8 and 0.8.
+        assert so_score(0.8, 0.2) == pytest.approx(0.8)
+        # Overspend beyond 100% zeroes the second term.
+        assert so_score(0.9, 1.5) == 0.0
+
+    def test_so_score_validation(self):
+        with pytest.raises(ValueError):
+            so_score(1.2, 0.0)
+
+    def test_score_outcomes_aggregation(self):
+        outcomes = [
+            self._outcome(success_cost=10.0, oracle_cost=10.0),  # success, O=0
+            self._outcome(umax=1),  # failure
+        ]
+        score = score_outcomes("test", outcomes)
+        assert score.success_rate == 0.5
+        assert score.mean_overspend == pytest.approx(0.0)
+        assert 0 < score.so <= 1
+
+    def test_score_outcomes_all_failures(self):
+        score = score_outcomes("test", [self._outcome(umax=1)])
+        assert score.success_rate == 0.0
+        assert score.so == 0.0
+
+    def test_score_outcomes_empty_raises(self):
+        with pytest.raises(ValueError):
+            score_outcomes("test", [])
+
+
+class TestHarness:
+    def test_ideal_score_is_perfect_when_feasible(self, small_dataset):
+        score = ideal_score(small_dataset.dataset)
+        assert score.success_rate == 1.0
+        assert score.mean_overspend == pytest.approx(0.0)
+        assert score.so == pytest.approx(1.0)
+
+    def test_evaluate_pilot_on_small_dataset(self, small_dataset, generator):
+        cfg = EvaluationConfig(
+            total_users=50,
+            user_counts=(1, 4, 16, 64),
+            max_request_weight=generator.max_request_weight(),
+        )
+        score = evaluate_method(
+            lambda: LLMPilotRecommender(
+                constraints=cfg.constraints,
+                hyperparams=PerfModelHyperparams(n_estimators=40),
+                user_counts=(1, 4, 16, 64),
+            ),
+            small_dataset.dataset,
+            dict(LLM_CATALOG),
+            config=cfg,
+        )
+        assert len(score.outcomes) == len(small_dataset.dataset.llms())
+        assert 0.0 <= score.success_rate <= 1.0
+        assert 0.0 <= score.so <= 1.0
+        # With 4 LLMs and an easy setting the model should succeed sometimes.
+        assert score.success_rate >= 0.25

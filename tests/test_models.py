@@ -1,0 +1,112 @@
+"""Tests for the LLM architecture catalog."""
+
+import dataclasses
+
+import pytest
+
+from repro.models import LLM_CATALOG, LLMSpec, get_llm, list_llms
+
+
+class TestCatalog:
+    def test_ten_llms_as_in_table3(self):
+        assert len(LLM_CATALOG) == 10
+
+    def test_lookup_roundtrip(self):
+        for name in list_llms():
+            assert get_llm(name).name == name
+
+    def test_unknown_llm_raises(self):
+        with pytest.raises(KeyError, match="known LLMs"):
+            get_llm("gpt-5")
+
+    def test_parameter_range_matches_paper(self):
+        sizes = [m.n_params_billion for m in LLM_CATALOG.values()]
+        assert min(sizes) == 3.0  # flan-t5-xl
+        assert max(sizes) == 20.0  # flan-ul2 / gpt-neox-20b
+
+    def test_encoder_decoder_models(self):
+        enc_dec = {n for n, m in LLM_CATALOG.items() if m.is_encoder_decoder}
+        assert enc_dec == {
+            "google/flan-t5-xl",
+            "google/flan-t5-xxl",
+            "google/flan-ul2",
+            "bigscience/mt0-xxl",
+        }
+
+    def test_flash_attention_models(self):
+        flash = {n for n, m in LLM_CATALOG.items() if m.uses_flash_attention}
+        assert flash == {
+            "Llama-2-7b",
+            "Llama-2-13b",
+            "EleutherAI/gpt-neox-20b",
+            "bigcode/starcoder",
+        }
+
+    def test_tp_unsupported_models(self):
+        no_tp = {
+            n for n, m in LLM_CATALOG.items() if not m.tgis_tensor_parallel_supported
+        }
+        assert no_tp == {
+            "ibm/mpt-7b-instruct2",
+            "bigscience/mt0-xxl",
+            "Salesforce/codegen2-16B",
+        }
+
+    def test_starcoder_multi_query_attention(self):
+        assert get_llm("bigcode/starcoder").n_kv_heads == 1
+
+
+class TestLLMSpec:
+    def test_weights_bytes_fp16(self):
+        llm = get_llm("Llama-2-13b")
+        assert llm.weights_bytes == pytest.approx(26e9)
+
+    def test_kv_bytes_per_token(self):
+        llm = get_llm("Llama-2-13b")
+        # 2 * layers * kv_heads * head_dim * 2 bytes
+        expected = 2 * 40 * 40 * (5120 // 40) * 2
+        assert llm.kv_bytes_per_token == expected
+
+    def test_mqa_kv_much_smaller(self):
+        starcoder = get_llm("bigcode/starcoder")
+        neox = get_llm("EleutherAI/gpt-neox-20b")
+        assert starcoder.kv_bytes_per_token < neox.kv_bytes_per_token / 10
+
+    def test_flops_per_token(self):
+        llm = get_llm("Llama-2-7b")
+        assert llm.flops_per_token == pytest.approx(14e9)
+
+    def test_head_dim_consistency(self):
+        for llm in LLM_CATALOG.values():
+            assert llm.head_dim * llm.n_heads == llm.d_model
+
+    def test_feature_dict_covers_paper_features(self):
+        feats = get_llm("google/flan-t5-xl").feature_dict()
+        for key in (
+            "llm_n_params_billion",
+            "llm_is_encoder_decoder",
+            "llm_n_layers",
+            "llm_n_heads",
+            "llm_n_positions",
+            "llm_vocab_size",
+            "llm_flash_attention",
+            "llm_rel_attn_max_distance",
+            "llm_rel_attn_num_buckets",
+            "llm_dtype_bytes",
+        ):
+            assert key in feats
+
+    def test_invalid_dtype_rejected(self):
+        base = get_llm("Llama-2-7b")
+        with pytest.raises(ValueError, match="dtype"):
+            dataclasses.replace(base, dtype="int4")
+
+    def test_invalid_kv_heads_rejected(self):
+        base = get_llm("Llama-2-7b")
+        with pytest.raises(ValueError, match="kv_heads"):
+            dataclasses.replace(base, n_kv_heads=0)
+
+    def test_nonpositive_params_rejected(self):
+        base = get_llm("Llama-2-7b")
+        with pytest.raises(ValueError, match="n_params"):
+            dataclasses.replace(base, n_params_billion=0.0)

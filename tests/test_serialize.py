@@ -1,0 +1,98 @@
+"""Tests for JSON model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    gbm_from_dict,
+    gbm_to_dict,
+    load_gbm,
+    save_gbm,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+
+def _toy(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-2, 2, size=(n, 5))
+    y = X[:, 0] - 0.5 * X[:, 1] ** 2 + 0.05 * rng.standard_normal(n)
+    return X, y
+
+
+class TestTreeSerialization:
+    def test_roundtrip_predictions_identical(self):
+        X, y = _toy()
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        clone = tree_from_dict(tree_to_dict(tree))
+        np.testing.assert_array_equal(tree.predict(X), clone.predict(X))
+
+    def test_importances_preserved(self):
+        X, y = _toy()
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        clone = tree_from_dict(tree_to_dict(tree))
+        np.testing.assert_allclose(
+            tree.feature_importances_, clone.feature_importances_
+        )
+
+    def test_unfit_tree_rejected(self):
+        with pytest.raises(ValueError):
+            tree_to_dict(DecisionTreeRegressor())
+
+    def test_dict_is_json_compatible(self):
+        import json
+
+        X, y = _toy()
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        text = json.dumps(tree_to_dict(tree))
+        clone = tree_from_dict(json.loads(text))
+        np.testing.assert_array_equal(tree.predict(X), clone.predict(X))
+
+
+class TestGBMSerialization:
+    def test_roundtrip_predictions_identical(self):
+        X, y = _toy()
+        gbm = GradientBoostingRegressor(
+            n_estimators=40, max_depth=3, monotone_constraints={0: 1}
+        ).fit(X, y)
+        clone = gbm_from_dict(gbm_to_dict(gbm))
+        np.testing.assert_array_equal(gbm.predict(X), clone.predict(X))
+        assert clone.monotone_constraints == {0: 1}
+
+    def test_file_roundtrip(self, tmp_path):
+        X, y = _toy()
+        gbm = GradientBoostingRegressor(n_estimators=20).fit(X, y)
+        path = str(tmp_path / "model.json")
+        save_gbm(gbm, path)
+        clone = load_gbm(path)
+        np.testing.assert_array_equal(gbm.predict(X), clone.predict(X))
+
+    def test_monotonicity_survives_roundtrip(self):
+        X, y = _toy(seed=1)
+        gbm = GradientBoostingRegressor(
+            n_estimators=30, monotone_constraints={0: 1}
+        ).fit(X, y)
+        clone = gbm_from_dict(gbm_to_dict(gbm))
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            ctx = rng.uniform(-2, 2, size=5)
+            pts = np.tile(ctx, (30, 1))
+            pts[:, 0] = np.linspace(-2, 2, 30)
+            assert np.all(np.diff(clone.predict(pts)) >= -1e-9)
+
+    def test_kind_and_version_validated(self):
+        X, y = _toy()
+        gbm = GradientBoostingRegressor(n_estimators=2).fit(X, y)
+        data = gbm_to_dict(gbm)
+        bad_kind = dict(data, kind="random_forest")
+        with pytest.raises(ValueError, match="not a serialized GBM"):
+            gbm_from_dict(bad_kind)
+        bad_version = dict(data, format_version=99)
+        with pytest.raises(ValueError, match="format version"):
+            gbm_from_dict(bad_version)
+
+    def test_unfit_gbm_rejected(self):
+        with pytest.raises(ValueError):
+            gbm_to_dict(GradientBoostingRegressor())
