@@ -9,6 +9,8 @@ Package layout
 * :mod:`repro.traces` — synthetic production-trace substrate (Table II).
 * :mod:`repro.workload` — the workload generator (§III-B).
 * :mod:`repro.inference` — continuous-batching inference-server simulator.
+* :mod:`repro.simulation` — event-driven simulation core: traffic models,
+  metric collection, shared-clock fleet simulation with pluggable routers.
 * :mod:`repro.cluster` — k8s-like deployments / pods / load balancing.
 * :mod:`repro.characterization` — the performance characterization tool (§III).
 * :mod:`repro.ml` — from-scratch trees / forests / monotone GBM / MLP / CF.

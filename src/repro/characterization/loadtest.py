@@ -9,6 +9,14 @@ we extract the paper's four metrics:
 * **nTTFT** — median of per-request TTFT / input-token count,
 * **ITL** — median latency between subsequent output tokens,
 * **throughput** — total output tokens generated / experiment duration.
+
+Both entry points are thin wrappers over the event-driven simulation
+core (:mod:`repro.simulation`): a single-pod
+:class:`~repro.simulation.fleet.FleetSimulator` run under
+:class:`~repro.simulation.traffic.ClosedLoopTraffic` or
+:class:`~repro.simulation.traffic.PoissonTraffic`. The wrapper keeps the
+exact RNG stream layout of the original hand-written driver loops, so
+seeded results are bit-for-bit identical to the pre-refactor harness.
 """
 
 from __future__ import annotations
@@ -19,6 +27,8 @@ import numpy as np
 
 from repro.inference.engine import ContinuousBatchingEngine
 from repro.inference.request import RequestResult
+from repro.simulation.fleet import FleetSimulator, RoundRobinRouter
+from repro.simulation.traffic import ClosedLoopTraffic, PoissonTraffic, RequestSource
 from repro.utils.rng import derive_rng
 from repro.workload.generator import WorkloadGenerator
 
@@ -26,6 +36,7 @@ __all__ = [
     "LoadTestResult",
     "run_load_test",
     "run_open_loop_test",
+    "noisy_medians",
     "DEFAULT_USER_COUNTS",
 ]
 
@@ -35,7 +46,12 @@ DEFAULT_USER_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
 @dataclass
 class LoadTestResult:
-    """Metrics from one (pod, user-count) load-testing experiment."""
+    """Metrics from one (pod, load) load-testing experiment.
+
+    ``concurrent_users`` is the closed-loop population (0 for open-loop
+    runs); open-loop runs report the injected ``arrivals`` and the
+    ``offered_rate_per_s`` they were driven at instead.
+    """
 
     concurrent_users: int
     duration_s: float
@@ -48,18 +64,58 @@ class LoadTestResult:
     first_tokens_served: int
     tokens_generated: int
     queue_depth_end: int
+    arrivals: int = 0
+    offered_rate_per_s: float = float("nan")
     results: list[RequestResult] = field(default_factory=list, repr=False)
 
     def as_row(self) -> dict[str, float]:
         """Flat dict for dataset assembly."""
         return {
             "concurrent_users": float(self.concurrent_users),
+            "arrivals": float(self.arrivals),
+            "offered_rate_per_s": self.offered_rate_per_s,
             "ttft_median_s": self.ttft_median_s,
             "nttft_median_s": self.nttft_median_s,
             "itl_median_s": self.itl_median_s,
             "throughput_tokens_per_s": self.throughput_tokens_per_s,
             "e2e_median_s": self.e2e_median_s,
         }
+
+
+def noisy_medians(
+    ttft: np.ndarray,
+    ttft_inputs: np.ndarray,
+    itl: np.ndarray,
+    completed: list[RequestResult],
+    tokens_generated: int,
+    elapsed: float,
+    noise_rng: np.random.Generator,
+    sigma: float,
+) -> tuple[float, float, float, float, float]:
+    """The shared metric assembly: medians under client measurement noise.
+
+    The draw order (ttft, nttft, itl, throughput, e2e — each skipped when
+    its sample set is empty) is part of the seeded contract; do not
+    reorder.
+    """
+
+    def noisy(value: float) -> float:
+        if not np.isfinite(value) or sigma <= 0:
+            return value
+        return float(value * noise_rng.lognormal(0.0, sigma))
+
+    ttft_median = noisy(float(np.median(ttft))) if ttft.size else float("nan")
+    nttft_median = (
+        noisy(float(np.median(ttft / ttft_inputs))) if ttft.size else float("nan")
+    )
+    itl_median = noisy(float(np.median(itl))) if itl.size else float("nan")
+    throughput = noisy(tokens_generated / elapsed)
+    e2e = (
+        noisy(float(np.median([r.e2e_latency for r in completed])))
+        if completed
+        else float("nan")
+    )
+    return ttft_median, nttft_median, itl_median, throughput, e2e
 
 
 def run_load_test(
@@ -100,38 +156,14 @@ def run_load_test(
         raise ValueError("run_load_test requires a fresh engine")
 
     rng = derive_rng(seed, "loadtest", concurrent_users)
-    request_stream = generator.request_stream(rng=rng)
-    max_weight = engine.max_batch_weight
+    source = RequestSource(generator, rng, engine.max_batch_weight)
+    fleet = FleetSimulator(
+        [engine], ClosedLoopTraffic(concurrent_users), RoundRobinRouter(), source
+    )
+    fleet.run(duration_s=duration_s, warmup_s=warmup_s, assemble_result=False)
 
-    def next_request():
-        req = next(request_stream)
-        if req.weight > max_weight:
-            # Platform-side truncation; only reachable in independent
-            # sampling mode (joint mode is bounded by the tuned weight).
-            reqs = generator.sample_requests(
-                1, rng=rng, first_id=req.request_id, max_weight=max_weight
-            )
-            req = reqs[0]
-        return req
-
-    for _ in range(concurrent_users):
-        engine.submit(next_request())
-
-    completed: list[RequestResult] = []
-    t_end = warmup_s + duration_s
-    warmed_up = warmup_s == 0.0
-    while engine.time < t_end and engine.has_work():
-        if not warmed_up and engine.time >= warmup_s:
-            engine.reset_metrics()
-            completed.clear()
-            warmed_up = True
-        finished = engine.step()
-        for result in finished:
-            completed.append(result)
-            engine.submit(next_request())
-    completed = [r for r in completed if r.submitted_at >= warmup_s]
-
-    elapsed = max(engine.time, t_end) - warmup_s
+    completed = [r for r in engine.metrics.completed if r.submitted_at >= warmup_s]
+    elapsed = max(engine.time, warmup_s + duration_s) - warmup_s
     ttft, ttft_inputs = engine.ttft_samples()
     itl = engine.itl_samples()
 
@@ -140,22 +172,10 @@ def run_load_test(
         "measurement-noise",
         concurrent_users,
     )
-
-    def noisy(value: float) -> float:
-        if not np.isfinite(value) or measurement_noise_sigma <= 0:
-            return value
-        return float(value * noise_rng.lognormal(0.0, measurement_noise_sigma))
-
-    ttft_median = noisy(float(np.median(ttft))) if ttft.size else float("nan")
-    nttft_median = (
-        noisy(float(np.median(ttft / ttft_inputs))) if ttft.size else float("nan")
-    )
-    itl_median = noisy(float(np.median(itl))) if itl.size else float("nan")
-    throughput = noisy(engine.stats.tokens_generated / elapsed)
-    e2e = (
-        noisy(float(np.median([r.e2e_latency for r in completed])))
-        if completed
-        else float("nan")
+    ttft_median, nttft_median, itl_median, throughput, e2e = noisy_medians(
+        ttft, ttft_inputs, itl, completed,
+        engine.stats.tokens_generated, elapsed,
+        noise_rng, measurement_noise_sigma,
     )
 
     return LoadTestResult(
@@ -170,6 +190,7 @@ def run_load_test(
         first_tokens_served=int(ttft.size),
         tokens_generated=engine.stats.tokens_generated,
         queue_depth_end=engine.queue_depth,
+        arrivals=fleet.arrivals,
         results=completed if keep_results else [],
     )
 
@@ -189,7 +210,10 @@ def run_open_loop_test(
     traffic instead: requests arrive whether or not earlier ones have
     finished, so overload manifests as unbounded queueing rather than a
     throughput plateau. Useful for stress analysis beyond the paper's
-    protocol; metrics match :func:`run_load_test`.
+    protocol; metrics match :func:`run_load_test`, with the injected
+    arrival count in ``arrivals`` and the driving rate in
+    ``offered_rate_per_s`` (``concurrent_users`` is 0 — there is no
+    closed-loop population).
     """
     if arrival_rate_per_s <= 0:
         raise ValueError("arrival_rate_per_s must be positive")
@@ -200,61 +224,38 @@ def run_open_loop_test(
 
     rng = derive_rng(seed, "open-loop", arrival_rate_per_s)
     arrival_rng = derive_rng(seed, "open-loop-arrivals", arrival_rate_per_s)
-    request_stream = generator.request_stream(rng=rng)
-    max_weight = engine.max_batch_weight
+    source = RequestSource(generator, rng, engine.max_batch_weight)
+    fleet = FleetSimulator(
+        [engine],
+        PoissonTraffic(arrival_rate_per_s, rng=arrival_rng),
+        RoundRobinRouter(),
+        source,
+    )
+    fleet.run(duration_s=duration_s, assemble_result=False)
 
-    def next_request():
-        req = next(request_stream)
-        if req.weight > max_weight:
-            req = generator.sample_requests(
-                1, rng=rng, first_id=req.request_id, max_weight=max_weight
-            )[0]
-        return req
-
-    next_arrival = float(arrival_rng.exponential(1.0 / arrival_rate_per_s))
-    completed: list[RequestResult] = []
-    arrivals = 0
-    while True:
-        # Inject every arrival that occurred up to the current time.
-        while next_arrival <= engine.time and next_arrival < duration_s:
-            engine.submit(next_request(), arrival_time=next_arrival)
-            arrivals += 1
-            next_arrival += float(arrival_rng.exponential(1.0 / arrival_rate_per_s))
-        if engine.time >= duration_s:
-            break
-        if not engine.has_work():
-            if next_arrival >= duration_s:
-                break
-            engine.advance_to(next_arrival)
-            continue
-        completed.extend(engine.step())
-
+    completed = list(engine.metrics.completed)
     elapsed = max(engine.time, duration_s)
     ttft, ttft_inputs = engine.ttft_samples()
     itl = engine.itl_samples()
     noise_rng = derive_rng(seed, "open-loop-noise", arrival_rate_per_s)
-
-    def noisy(value: float) -> float:
-        if not np.isfinite(value) or measurement_noise_sigma <= 0:
-            return value
-        return float(value * noise_rng.lognormal(0.0, measurement_noise_sigma))
+    ttft_median, nttft_median, itl_median, throughput, e2e = noisy_medians(
+        ttft, ttft_inputs, itl, completed,
+        engine.stats.tokens_generated, elapsed,
+        noise_rng, measurement_noise_sigma,
+    )
 
     return LoadTestResult(
-        concurrent_users=arrivals,  # repurposed: number of arrivals injected
+        concurrent_users=0,
         duration_s=elapsed,
-        ttft_median_s=noisy(float(np.median(ttft))) if ttft.size else float("nan"),
-        nttft_median_s=(
-            noisy(float(np.median(ttft / ttft_inputs))) if ttft.size else float("nan")
-        ),
-        itl_median_s=noisy(float(np.median(itl))) if itl.size else float("nan"),
-        throughput_tokens_per_s=noisy(engine.stats.tokens_generated / elapsed),
-        e2e_median_s=(
-            noisy(float(np.median([r.e2e_latency for r in completed])))
-            if completed
-            else float("nan")
-        ),
+        ttft_median_s=ttft_median,
+        nttft_median_s=nttft_median,
+        itl_median_s=itl_median,
+        throughput_tokens_per_s=throughput,
+        e2e_median_s=e2e,
         requests_completed=len(completed),
         first_tokens_served=int(ttft.size),
         tokens_generated=engine.stats.tokens_generated,
         queue_depth_end=engine.queue_depth,
+        arrivals=fleet.arrivals,
+        offered_rate_per_s=arrival_rate_per_s,
     )

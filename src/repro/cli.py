@@ -9,7 +9,10 @@ Subcommands mirror the two roles the paper defines (§I):
   - ``recommend``     recommend (GPU profile, pods) for an unseen LLM;
   - ``evaluate``      leave-one-LLM-out Fig 8-style method comparison;
 * utility:
-  - ``info``          workload-generator and catalog statistics.
+  - ``info``          workload-generator and catalog statistics;
+  - ``simulate``      fleet-level what-if simulation: N pods on a shared
+    virtual clock under closed-loop / Poisson / diurnal / bursty traffic
+    with a pluggable front-end router.
 """
 
 from __future__ import annotations
@@ -24,15 +27,24 @@ from repro.characterization import (
     CharacterizationTool,
     PerfDataset,
 )
-from repro.hardware import aws_like_pricing, default_profiles, list_gpus
+from repro.hardware import aws_like_pricing, default_profiles, list_gpus, parse_profile
 from repro.models import LLM_CATALOG, get_llm, list_llms
 from repro.recommendation import (
     GPURecommendationTool,
     LatencyConstraints,
     PerfModelHyperparams,
 )
+from repro.cluster import Deployment
 from repro.recommendation.pilot import LLMPilotRecommender
+from repro.simulation import (
+    ROUTERS,
+    BurstyTraffic,
+    ClosedLoopTraffic,
+    DiurnalTraffic,
+    PoissonTraffic,
+)
 from repro.traces import TraceConfig, TraceDataset, TraceSynthesizer
+from repro.utils.rng import derive_rng
 from repro.utils.tables import format_table
 from repro.workload import WorkloadGenerator
 
@@ -75,6 +87,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="catalog and generator statistics")
     p_info.add_argument("--requests", type=int, default=50_000)
     p_info.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser("simulate", help="fleet-level traffic simulation")
+    p_sim.add_argument("--llm", default="Llama-2-13b")
+    p_sim.add_argument("--profile", default="1xA100-40GB")
+    p_sim.add_argument("--pods", type=int, default=2)
+    p_sim.add_argument("--max-batch-weight", type=int, default=12_000)
+    p_sim.add_argument("--router", choices=sorted(ROUTERS), default="least-loaded")
+    p_sim.add_argument(
+        "--traffic",
+        choices=["closed", "poisson", "diurnal", "bursty"],
+        default="poisson",
+    )
+    p_sim.add_argument("--users", type=int, default=16, help="closed-loop population")
+    p_sim.add_argument(
+        "--rate", type=float, default=2.0,
+        help="arrival rate/s (base rate for diurnal, burst rate for bursty)",
+    )
+    p_sim.add_argument("--amplitude", type=float, default=0.8, help="diurnal swing")
+    p_sim.add_argument("--period", type=float, default=300.0, help="diurnal period s")
+    p_sim.add_argument("--mean-on", type=float, default=20.0, help="bursty ON dwell s")
+    p_sim.add_argument("--mean-off", type=float, default=40.0, help="bursty OFF dwell s")
+    p_sim.add_argument("--duration", type=float, default=60.0)
+    p_sim.add_argument("--warmup", type=float, default=0.0)
+    p_sim.add_argument("--traces", help=".npz trace collection (else synthesized)")
+    p_sim.add_argument("--requests", type=int, default=50_000)
+    p_sim.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -203,11 +241,80 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _make_traffic(args):
+    rng = derive_rng(args.seed, "sim-traffic", args.traffic)
+    if args.traffic == "closed":
+        return ClosedLoopTraffic(args.users)
+    if args.traffic == "poisson":
+        return PoissonTraffic(args.rate, rng=rng)
+    if args.traffic == "diurnal":
+        return DiurnalTraffic(
+            args.rate, rng=rng, amplitude=args.amplitude, period_s=args.period
+        )
+    return BurstyTraffic(
+        args.rate, rng=rng, mean_on_s=args.mean_on, mean_off_s=args.mean_off
+    )
+
+
+def _cmd_simulate(args) -> int:
+    traces = _load_or_make_traces(args)
+    generator = WorkloadGenerator.fit(traces)
+    try:
+        llm = get_llm(args.llm)
+        profile = parse_profile(args.profile)
+        deployment = Deployment(
+            llm=llm,
+            profile=profile,
+            n_pods=args.pods,
+            max_batch_weight=args.max_batch_weight,
+            generator=generator,
+            seed=args.seed,
+        )
+        res = deployment.simulate(
+            _make_traffic(args),
+            duration_s=args.duration,
+            router=ROUTERS[args.router](),
+            warmup_s=args.warmup,
+            stream_label=args.traffic,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        [p.pod, p.arrivals_routed, p.requests_completed, p.tokens_generated,
+         p.throughput_tokens_per_s, p.ttft.median_s, p.itl.median_s,
+         p.queue_depth_end]
+        for p in res.per_pod
+    ]
+    print(
+        format_table(
+            ["pod", "arrivals", "done", "tokens", "tok/s", "ttft p50",
+             "itl p50", "queue"],
+            rows,
+            floatfmt=".3f",
+            title=(
+                f"{llm.name} on {args.pods}x {profile.name} — "
+                f"{res.traffic} traffic, {res.router} routing, "
+                f"{res.duration_s:.0f}s window:"
+            ),
+        )
+    )
+    print(
+        f"Fleet: {res.arrivals} arrivals, {res.requests_completed} completed, "
+        f"{res.throughput_tokens_per_s:.1f} tok/s | "
+        f"TTFT p50/p95/p99 {res.ttft.median_s:.3f}/{res.ttft.p95_s:.3f}/"
+        f"{res.ttft.p99_s:.3f}s | ITL p50/p95/p99 {res.itl.median_s:.4f}/"
+        f"{res.itl.p95_s:.4f}/{res.itl.p99_s:.4f}s"
+    )
+    return 0
+
+
 _COMMANDS = {
     "traces": _cmd_traces,
     "characterize": _cmd_characterize,
     "recommend": _cmd_recommend,
     "info": _cmd_info,
+    "simulate": _cmd_simulate,
 }
 
 

@@ -1,11 +1,15 @@
 """Deployments: replicated inference-service pods (paper §II-C).
 
 A Deployment manages ``n`` pod replicas of the same (LLM, GPU profile)
-service; load balancing distributes users across pods, which operate
-independently (each pod has exclusive GPUs, no co-location effects).
-``run_load_test`` reproduces the Table I experiment: per-pod throughput
-under a varying total user population, demonstrating near-perfect
-scaling with the pod count.
+service. Load tests co-simulate every pod on one shared virtual clock
+through :class:`~repro.simulation.fleet.FleetSimulator`: a front-end
+router (least-loaded by default) assigns each request to a pod the
+moment it arrives, instead of the old static user split across engines
+that never shared a timeline. ``run_load_test`` reproduces the Table I
+experiment — per-pod throughput under a varying total user population,
+demonstrating near-perfect scaling with the pod count — and, because the
+pods now share a clock, the same deployment can also serve open-loop or
+bursty traffic via :meth:`Deployment.simulate`.
 """
 
 from __future__ import annotations
@@ -14,12 +18,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.characterization.loadtest import LoadTestResult, run_load_test
-from repro.cluster.balancer import split_users
+from repro.characterization.loadtest import LoadTestResult, noisy_medians
 from repro.hardware.profile import GPUProfile
 from repro.inference.engine import ContinuousBatchingEngine
 from repro.models.llm import LLMSpec
-from repro.utils.rng import spawn_seed
+from repro.simulation.fleet import (
+    FleetResult,
+    FleetSimulator,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    Router,
+)
+from repro.simulation.traffic import ClosedLoopTraffic, RequestSource, TrafficModel
+from repro.utils.rng import derive_rng, spawn_seed
 from repro.utils.stats import relative_std
 from repro.workload.generator import WorkloadGenerator
 
@@ -33,6 +44,7 @@ class DeploymentLoadTestResult:
     n_pods: int
     total_users: int
     per_pod: list[LoadTestResult] = field(default_factory=list)
+    fleet: FleetResult | None = field(default=None, repr=False)
 
     @property
     def throughput_per_pod(self) -> np.ndarray:
@@ -93,39 +105,121 @@ class Deployment:
             seed=self.seed,
         )
 
-    def run_load_test(
-        self, total_users: int, duration_s: float = 120.0
-    ) -> DeploymentLoadTestResult:
-        """Drive ``total_users`` closed-loop users against the deployment.
-
-        Pods are independent (inference is embarrassingly parallel at the
-        request level), so each pod simulates its share of the users; the
-        different per-pod seeds reproduce the real-world run-to-run spread
-        that Table I quantifies with the relative standard deviation.
-        """
-        if total_users < 1:
-            raise ValueError(f"total_users must be >= 1, got {total_users}")
-        shares = split_users(total_users, self.n_pods)
-        out = DeploymentLoadTestResult(n_pods=self.n_pods, total_users=total_users)
-        for pod_index, users in enumerate(shares):
-            if users == 0:
-                continue
-            pod_seed = spawn_seed(
-                self.seed, "pod", self.llm.name, self.profile.name, pod_index
-            )
-            engine = ContinuousBatchingEngine(
+    def _pods(self) -> list[ContinuousBatchingEngine]:
+        """Fresh engines, one per replica, with stable per-pod seeds."""
+        return [
+            ContinuousBatchingEngine(
                 llm=self.llm,
                 profile=self.profile,
                 max_batch_weight=self.max_batch_weight,
-                seed=pod_seed,
+                seed=spawn_seed(
+                    self.seed, "pod", self.llm.name, self.profile.name, pod_index
+                ),
+            )
+            for pod_index in range(self.n_pods)
+        ]
+
+    def _make_fleet(
+        self, traffic: TrafficModel, router: Router | None, stream_label: object
+    ) -> FleetSimulator:
+        """A fresh fleet over fresh pods and a seeded workload stream."""
+        source = RequestSource(
+            self.generator,
+            derive_rng(self.seed, "deployment-workload", stream_label),
+            self.max_batch_weight,
+        )
+        return FleetSimulator(
+            self._pods(), traffic, router or LeastLoadedRouter(), source
+        )
+
+    def simulate(
+        self,
+        traffic: TrafficModel,
+        duration_s: float,
+        router: Router | None = None,
+        warmup_s: float = 0.0,
+        stream_label: object = "deployment",
+        keep_samples: bool = True,
+    ) -> FleetResult:
+        """Co-simulate the deployment under an arbitrary traffic model.
+
+        This is the general entry point the old static user split could
+        not express: open-loop, diurnal or bursty arrivals hitting the
+        whole replica set through a front-end router on one shared
+        virtual clock.
+        """
+        return self._make_fleet(traffic, router, stream_label).run(
+            duration_s=duration_s, warmup_s=warmup_s, keep_samples=keep_samples
+        )
+
+    def run_load_test(
+        self,
+        total_users: int,
+        duration_s: float = 120.0,
+        router: Router | None = None,
+        measurement_noise_sigma: float = 0.015,
+    ) -> DeploymentLoadTestResult:
+        """Drive ``total_users`` closed-loop users against the deployment.
+
+        All pods share one virtual clock; every request (including each
+        user's follow-up after a completion) is routed by ``router``
+        (least-loaded by default), reproducing what the cluster's front
+        end does. Per-pod metrics get independent measurement noise, the
+        run-to-run spread that Table I quantifies with the relative
+        standard deviation. Pods the router never sent work to are
+        omitted from ``per_pod`` (a single user saturates nothing).
+        """
+        if total_users < 1:
+            raise ValueError(f"total_users must be >= 1, got {total_users}")
+        fleet = self._make_fleet(
+            ClosedLoopTraffic(total_users),
+            # Round-robin of the *initial* user population = the paper's
+            # static per-pod user split (follow-ups are sticky).
+            router or RoundRobinRouter(),
+            total_users,
+        )
+        # Retained results carry aggregates only, mirroring the
+        # single-pod keep_results=False default.
+        fleet_result = fleet.run(duration_s=duration_s, keep_samples=False)
+        pods = fleet.pods
+        # Actual per-pod user placement (== an even split for the default
+        # round-robin router; custom routers may place users unevenly).
+        shares = fleet.initial_routed_counts
+        out = DeploymentLoadTestResult(
+            n_pods=self.n_pods, total_users=total_users, fleet=fleet_result
+        )
+        elapsed = fleet_result.duration_s
+        for pod_index, (engine, pod_stats) in enumerate(
+            zip(pods, fleet_result.per_pod)
+        ):
+            if engine.stats.tokens_generated == 0 and pod_stats.arrivals_routed == 0:
+                continue
+            ttft, ttft_inputs = engine.ttft_samples()
+            itl = engine.itl_samples()
+            completed = list(engine.metrics.completed)
+            noise_rng = derive_rng(
+                self.seed, "pod-noise", self.llm.name, self.profile.name,
+                pod_index, total_users,
+            )
+            ttft_m, nttft_m, itl_m, throughput, e2e = noisy_medians(
+                ttft, ttft_inputs, itl, completed,
+                engine.stats.tokens_generated, elapsed,
+                noise_rng, measurement_noise_sigma,
             )
             out.per_pod.append(
-                run_load_test(
-                    engine,
-                    self.generator,
-                    concurrent_users=users,
-                    duration_s=duration_s,
-                    seed=pod_seed,
+                LoadTestResult(
+                    concurrent_users=shares[pod_index],
+                    duration_s=elapsed,
+                    ttft_median_s=ttft_m,
+                    nttft_median_s=nttft_m,
+                    itl_median_s=itl_m,
+                    throughput_tokens_per_s=throughput,
+                    e2e_median_s=e2e,
+                    requests_completed=pod_stats.requests_completed,
+                    first_tokens_served=int(ttft.size),
+                    tokens_generated=engine.stats.tokens_generated,
+                    queue_depth_end=engine.queue_depth,
+                    arrivals=pod_stats.arrivals_routed,
                 )
             )
         return out

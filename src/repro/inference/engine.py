@@ -28,6 +28,7 @@ from repro.hardware.profile import GPUProfile
 from repro.inference.costmodel import CostModel
 from repro.inference.request import InferenceRequest, RequestResult
 from repro.models.llm import LLMSpec
+from repro.simulation.metrics import MetricsCollector
 from repro.utils.rng import derive_rng
 
 __all__ = ["ContinuousBatchingEngine", "EngineStats"]
@@ -93,11 +94,13 @@ class ContinuousBatchingEngine:
         self._queue: deque[tuple[InferenceRequest, float]] = deque()
         self._active: list[_Active] = []
         self._batch_weight = 0  # committed weight of active requests
+        self._pending_weight = 0  # weight still waiting in the queue
         self._kv_tokens = 0  # tokens currently resident in the KV cache
-        self._itl_gaps: list[np.ndarray] = []
-        # (ttft, input_tokens) recorded at first-token time, so TTFT stats
-        # exist even for requests that do not finish within the experiment.
-        self._ttft_records: list[tuple[float, int]] = []
+        # Latency samples (ITL gaps, TTFT records, completions) live in
+        # the collector; the engine only emits events into it. Each
+        # engine owns its collector — sharing one across engines would
+        # break warmup resets and cross-pod merging.
+        self.metrics = MetricsCollector()
         self.stats = EngineStats()
 
     # ---- public API -----------------------------------------------------
@@ -118,6 +121,11 @@ class ContinuousBatchingEngine:
     @property
     def batch_weight_in_use(self) -> int:
         return self._batch_weight
+
+    @property
+    def pending_weight(self) -> int:
+        """Total weight of queued (not yet admitted) requests."""
+        return self._pending_weight
 
     def submit(self, request: InferenceRequest, arrival_time: float | None = None) -> None:
         """Enqueue ``request``.
@@ -141,6 +149,7 @@ class ContinuousBatchingEngine:
                 f"(now {self._time}); advance_to() it first"
             )
         self._queue.append((request, float(arrival_time)))
+        self._pending_weight += request.weight
 
     def advance_to(self, t: float) -> None:
         """Move virtual time forward to ``t`` (idle gap, no work done)."""
@@ -172,10 +181,13 @@ class ContinuousBatchingEngine:
         return completed
 
     def itl_samples(self) -> np.ndarray:
-        """All client-observed inter-token gaps recorded so far."""
-        if not self._itl_gaps:
-            return np.empty(0)
-        return np.concatenate(self._itl_gaps)
+        """All client-observed inter-token gaps recorded so far.
+
+        Delegates to the collector's incrementally grown buffer, so hot
+        analysis loops can call this repeatedly at O(1) cost instead of
+        re-concatenating per-step gap arrays.
+        """
+        return self.metrics.itl_samples()
 
     def reset_metrics(self) -> None:
         """Drop all collected metric samples and counters (warmup support).
@@ -184,17 +196,12 @@ class ContinuousBatchingEngine:
         only the measurement side restarts, as a benchmark harness does
         after its warmup phase.
         """
-        self._itl_gaps.clear()
-        self._ttft_records.clear()
+        self.metrics.reset()
         self.stats = EngineStats()
 
     def ttft_samples(self) -> tuple[np.ndarray, np.ndarray]:
         """(ttft_seconds, input_tokens) for every first token served."""
-        if not self._ttft_records:
-            return np.empty(0), np.empty(0, dtype=np.int64)
-        ttft = np.array([r[0] for r in self._ttft_records])
-        inputs = np.array([r[1] for r in self._ttft_records], dtype=np.int64)
-        return ttft, inputs
+        return self.metrics.ttft_samples()
 
     # ---- internals --------------------------------------------------------
 
@@ -228,6 +235,7 @@ class ContinuousBatchingEngine:
                 budget -= request.weight
                 slots -= 1
                 self._batch_weight += request.weight
+                self._pending_weight -= request.weight
                 admitted.append(_Active(request=request, submitted_at=submitted_at))
                 continue
             skipped.append((request, submitted_at))
@@ -248,19 +256,22 @@ class ContinuousBatchingEngine:
         self.stats.busy_time_s += dt
 
         completed: list[RequestResult] = []
+        first_tokens = 0
         for a in admitted:
             a.first_token_at = self._time
             a.last_token_at = self._time
             a.generated = 1  # the prompt phase emits the first output token
-            self._ttft_records.append(
-                (self._time - a.submitted_at, a.request.input_tokens)
+            self.metrics.record_first_token(
+                self._time - a.submitted_at, a.request.input_tokens, self._time
             )
             self._kv_tokens += (a.request.input_tokens + 1) * a.request.batch_size
             self.stats.tokens_generated += a.request.batch_size
+            first_tokens += a.request.batch_size
             if a.done:
                 completed.append(self._finish(a))
             else:
                 self._active.append(a)
+        self.metrics.record_tokens(first_tokens, self._time)
         return completed
 
     def _decode(self) -> list[RequestResult]:
@@ -285,7 +296,8 @@ class ContinuousBatchingEngine:
                 completed.append(self._finish(a))
             else:
                 still_active.append(a)
-        self._itl_gaps.append(gaps)
+        self.metrics.record_gaps(gaps, now)
+        self.metrics.record_tokens(n_seqs, now)
         self._active = still_active
         return completed
 
@@ -294,9 +306,11 @@ class ContinuousBatchingEngine:
         self._batch_weight -= req.weight
         self._kv_tokens -= (req.input_tokens + req.output_tokens) * req.batch_size
         self.stats.requests_completed += 1
-        return RequestResult(
+        result = RequestResult(
             request=req,
             submitted_at=a.submitted_at,
             first_token_at=a.first_token_at,
             finished_at=self._time,
         )
+        self.metrics.record_completion(result)
+        return result

@@ -1,0 +1,46 @@
+"""Event-driven simulation core: traffic models, metric collection and
+shared-clock fleet simulation with pluggable routing.
+
+This package is the substrate under the characterization harness
+(single-pod load tests), the cluster layer (multi-pod deployments) and
+the ``repro-pilot simulate`` CLI: one event loop, many scenarios.
+"""
+
+from repro.simulation.metrics import LatencyStats, MetricsCollector
+from repro.simulation.traffic import (
+    RequestSource,
+    TrafficModel,
+    ClosedLoopTraffic,
+    PoissonTraffic,
+    DiurnalTraffic,
+    BurstyTraffic,
+)
+from repro.simulation.fleet import (
+    Router,
+    RoundRobinRouter,
+    LeastLoadedRouter,
+    JoinShortestQueueRouter,
+    ROUTERS,
+    PodStats,
+    FleetResult,
+    FleetSimulator,
+)
+
+__all__ = [
+    "LatencyStats",
+    "MetricsCollector",
+    "RequestSource",
+    "TrafficModel",
+    "ClosedLoopTraffic",
+    "PoissonTraffic",
+    "DiurnalTraffic",
+    "BurstyTraffic",
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "JoinShortestQueueRouter",
+    "ROUTERS",
+    "PodStats",
+    "FleetResult",
+    "FleetSimulator",
+]

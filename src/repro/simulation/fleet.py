@@ -1,0 +1,364 @@
+"""Shared-clock fleet simulation: N pods, one virtual timeline.
+
+``cluster.Deployment`` used to "simulate" multi-pod deployments by
+statically splitting users across engines that never shared a clock —
+fine for the paper's closed-loop Table I, but unable to express a front
+end routing open-loop or bursty traffic over replicas. The
+:class:`FleetSimulator` co-simulates every pod on one virtual clock:
+
+* arrivals come from a :class:`~repro.simulation.traffic.TrafficModel`
+  (scheduled open-loop arrivals and/or completion-driven closed-loop
+  resubmissions);
+* a pluggable :class:`Router` picks the pod for every arrival;
+* the event loop always steps the busy pod with the smallest virtual
+  time, so cross-pod causality (an arrival routed at time t can only be
+  influenced by state no later than t) is preserved.
+
+With a single pod the loop is step-for-step identical to the paper's
+hand-written closed-loop/open-loop drivers, which is what lets
+``characterization.loadtest`` delegate here without changing any seeded
+output.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.simulation.metrics import LatencyStats, MetricsCollector
+from repro.simulation.traffic import RequestSource, TrafficModel
+
+if TYPE_CHECKING:  # import cycle: the engine itself imports this package
+    from repro.inference.engine import ContinuousBatchingEngine
+    from repro.inference.request import InferenceRequest
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "JoinShortestQueueRouter",
+    "ROUTERS",
+    "PodStats",
+    "FleetResult",
+    "FleetSimulator",
+]
+
+
+class Router:
+    """Chooses the pod index for each arrival."""
+
+    name: str = "router"
+
+    def route(
+        self,
+        request: InferenceRequest,
+        arrival_time: float,
+        pods: list[ContinuousBatchingEngine],
+    ) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget routing state before a fresh run."""
+
+
+class RoundRobinRouter(Router):
+    """Cycle through pods regardless of their load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(self, request, arrival_time, pods) -> int:
+        i = self._next % len(pods)
+        self._next += 1
+        return i
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class LeastLoadedRouter(Router):
+    """Pick the pod with the least committed work, by batch weight.
+
+    Load is the weight of the in-flight batch plus the weight still
+    waiting in the pod's queue, i.e. every token the pod has accepted but
+    not finished; ties break toward the lowest pod index.
+    """
+
+    name = "least-loaded"
+
+    def route(self, request, arrival_time, pods) -> int:
+        return min(
+            range(len(pods)),
+            key=lambda i: (pods[i].batch_weight_in_use + pods[i].pending_weight, i),
+        )
+
+
+class JoinShortestQueueRouter(Router):
+    """Classic JSQ: pick the pod with the fewest requests in the system."""
+
+    name = "join-shortest-queue"
+
+    def route(self, request, arrival_time, pods) -> int:
+        return min(
+            range(len(pods)),
+            key=lambda i: (pods[i].queue_depth + pods[i].active_requests, i),
+        )
+
+
+#: Router registry for CLIs and benchmarks.
+ROUTERS: dict[str, type[Router]] = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    LeastLoadedRouter.name: LeastLoadedRouter,
+    JoinShortestQueueRouter.name: JoinShortestQueueRouter,
+}
+
+
+@dataclass
+class PodStats:
+    """Per-pod outcome of a fleet run."""
+
+    pod: int
+    arrivals_routed: int
+    requests_completed: int
+    tokens_generated: int
+    throughput_tokens_per_s: float
+    queue_depth_end: int
+    active_requests_end: int
+    time_s: float
+    ttft: LatencyStats
+    itl: LatencyStats
+
+
+@dataclass
+class FleetResult:
+    """Aggregate + per-pod outcome of one fleet simulation."""
+
+    n_pods: int
+    traffic: str
+    router: str
+    duration_s: float
+    warmup_s: float
+    time_s: float
+    arrivals: int
+    requests_completed: int
+    tokens_generated: int
+    throughput_tokens_per_s: float
+    ttft: LatencyStats
+    itl: LatencyStats
+    e2e: LatencyStats
+    per_pod: list[PodStats] = field(default_factory=list, repr=False)
+    metrics: MetricsCollector | None = field(default=None, repr=False)
+
+    def as_row(self) -> dict[str, float]:
+        row = {
+            "n_pods": float(self.n_pods),
+            "arrivals": float(self.arrivals),
+            "requests_completed": float(self.requests_completed),
+            "throughput_tokens_per_s": self.throughput_tokens_per_s,
+        }
+        row.update(self.ttft.as_row("ttft"))
+        row.update(self.itl.as_row("itl"))
+        row.update(self.e2e.as_row("e2e"))
+        return row
+
+
+class FleetSimulator:
+    """Co-simulates N pods under one traffic model and router."""
+
+    def __init__(
+        self,
+        pods: list[ContinuousBatchingEngine],
+        traffic: TrafficModel,
+        router: Router,
+        source: RequestSource,
+    ) -> None:
+        if not pods:
+            raise ValueError("FleetSimulator needs at least one pod")
+        self.pods = list(pods)
+        self.traffic = traffic
+        self.router = router
+        self.source = source
+        self.arrivals = 0
+        self.routed_counts = [0] * len(self.pods)
+        self.initial_routed_counts = [0] * len(self.pods)
+        self._seq = 0
+
+    # ---- event loop -------------------------------------------------------
+
+    def run(
+        self,
+        duration_s: float,
+        warmup_s: float = 0.0,
+        keep_samples: bool = True,
+        assemble_result: bool = True,
+    ) -> FleetResult | None:
+        """Simulate a ``warmup_s + duration_s`` window of virtual time.
+
+        Metric collection restarts at the warmup boundary (exactly as the
+        single-pod harness does); scheduled arrivals stop at the end of
+        the window, and the run ends once every pod's clock has reached
+        it (or all work and arrivals are exhausted). With
+        ``keep_samples=False`` the returned result carries only the
+        aggregate statistics, not the merged per-request sample
+        collector — retain-many sweeps should use that to avoid pinning
+        O(requests) memory per result. ``assemble_result=False`` skips
+        result assembly entirely (an O(samples) merge plus percentile
+        sorts) and returns None — for callers that read the pod
+        engines/collectors directly, like the single-pod load-test
+        wrappers.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        if warmup_s < 0:
+            raise ValueError(f"warmup_s must be >= 0, got {warmup_s}")
+        for pod in self.pods:
+            if pod.time > 0 or pod.has_work():
+                raise ValueError("FleetSimulator requires fresh engines")
+        self.router.reset()
+
+        t_end = warmup_s + duration_s
+        pending: list[tuple[float, int, int | None, "InferenceRequest"]] = []
+        for request in self.traffic.initial_arrivals(self.source):
+            self._dispatch(request, 0.0)
+        # Where the router placed the initial population (for closed-loop
+        # traffic this is the per-pod user assignment, since follow-ups
+        # are sticky by default).
+        self.initial_routed_counts = list(self.routed_counts)
+
+        warmed_up = warmup_s == 0.0
+        while True:
+            self._inject_due(pending, t_end)
+            busy = [i for i, pod in enumerate(self.pods) if pod.has_work()]
+            if not busy:
+                break
+            pod_index = min(busy, key=lambda i: self.pods[i].time)
+            stepping = self.pods[pod_index]
+            if stepping.time >= t_end:
+                break
+            if not warmed_up and stepping.time >= warmup_s:
+                for pod in self.pods:
+                    pod.reset_metrics()
+                warmed_up = True
+            finished = stepping.step()
+            for result in finished:
+                follow_up = self.traffic.on_complete(result, stepping.time, self.source)
+                if follow_up is not None:
+                    self._seq += 1
+                    hint = pod_index if self.traffic.sticky else None
+                    heapq.heappush(
+                        pending, (stepping.time, self._seq, hint, follow_up)
+                    )
+        # Follow-ups drawn by completions right at the window edge can
+        # still be pending (their arrival lies beyond a lagging pod's
+        # clock when the loop exits). Dispatch them so every request
+        # drawn from the source is accounted as an arrival, exactly as
+        # the single-pod driver submits boundary-crossing resubmissions.
+        while pending:
+            t, _, hint, request = heapq.heappop(pending)
+            self._dispatch(request, t, pod_hint=hint)
+        if not assemble_result:
+            return None
+        return self._result(duration_s, warmup_s, keep_samples)
+
+    def _inject_due(
+        self,
+        pending: list[tuple[float, int, int | None, "InferenceRequest"]],
+        cutoff: float,
+    ) -> None:
+        """Submit every arrival that is due at the current fleet frontier.
+
+        An arrival at time t is due once no busy pod's clock is behind t
+        (the pod chosen by the router is then guaranteed not to observe
+        it in its past). When the whole fleet is idle the next arrival is
+        due immediately — virtual time fast-forwards to it. Scheduled
+        arrivals beyond ``cutoff`` are never materialized;
+        completion-driven resubmissions (already materialized) always
+        drain.
+        """
+        while True:
+            t_sched = self.traffic.peek()
+            if t_sched is not None and t_sched >= cutoff:
+                t_sched = None
+            t_pend = pending[0][0] if pending else None
+            if t_pend is None and t_sched is None:
+                return
+            use_pending = t_pend is not None and (t_sched is None or t_pend <= t_sched)
+            t = t_pend if use_pending else t_sched
+            busy_times = [pod.time for pod in self.pods if pod.has_work()]
+            if busy_times and t > min(busy_times):
+                return
+            if use_pending:
+                t, _, hint, request = heapq.heappop(pending)
+            else:
+                t, request = self.traffic.pop(self.source)
+                hint = None
+            self._dispatch(request, t, pod_hint=hint)
+
+    def _dispatch(
+        self,
+        request: "InferenceRequest",
+        arrival_time: float,
+        pod_hint: int | None = None,
+    ) -> None:
+        i = (
+            pod_hint
+            if pod_hint is not None
+            else self.router.route(request, arrival_time, self.pods)
+        )
+        pod = self.pods[i]
+        if pod.time < arrival_time:
+            pod.advance_to(arrival_time)
+        pod.submit(request, arrival_time=arrival_time)
+        self.arrivals += 1
+        self.routed_counts[i] += 1
+
+    # ---- result assembly --------------------------------------------------
+
+    def _result(
+        self, duration_s: float, warmup_s: float, keep_samples: bool
+    ) -> FleetResult:
+        t_end = warmup_s + duration_s
+        time_s = max(max(pod.time for pod in self.pods), t_end)
+        elapsed = time_s - warmup_s
+        collectors = [pod.metrics for pod in self.pods]
+        merged = MetricsCollector.merged(collectors)
+        tokens = sum(pod.stats.tokens_generated for pod in self.pods)
+        per_pod = []
+        for i, pod in enumerate(self.pods):
+            completed = [
+                r for r in pod.metrics.completed if r.submitted_at >= warmup_s
+            ]
+            per_pod.append(
+                PodStats(
+                    pod=i,
+                    arrivals_routed=self.routed_counts[i],
+                    requests_completed=len(completed),
+                    tokens_generated=pod.stats.tokens_generated,
+                    throughput_tokens_per_s=pod.stats.tokens_generated / elapsed,
+                    queue_depth_end=pod.queue_depth,
+                    active_requests_end=pod.active_requests,
+                    time_s=pod.time,
+                    ttft=pod.metrics.ttft_stats(),
+                    itl=pod.metrics.itl_stats(),
+                )
+            )
+        return FleetResult(
+            n_pods=len(self.pods),
+            traffic=self.traffic.name,
+            router=self.router.name,
+            duration_s=elapsed,
+            warmup_s=warmup_s,
+            time_s=time_s,
+            arrivals=self.arrivals,
+            requests_completed=sum(p.requests_completed for p in per_pod),
+            tokens_generated=tokens,
+            throughput_tokens_per_s=tokens / elapsed,
+            ttft=merged.ttft_stats(),
+            itl=merged.itl_stats(),
+            e2e=LatencyStats.from_samples(merged.e2e_samples(warmup_s)),
+            per_pod=per_pod,
+            metrics=merged if keep_samples else None,
+        )

@@ -27,6 +27,16 @@ class TestParser:
         assert args.nttft_ms == 100.0
         assert args.itl_ms == 50.0
 
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.traffic == "poisson"
+        assert args.router == "least-loaded"
+        assert args.pods == 2
+
+    def test_simulate_rejects_unknown_router(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--router", "random"])
+
 
 class TestCommands:
     def test_traces_command(self, tmp_path, capsys):
@@ -125,3 +135,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "LLM catalog" in out
         assert "Workload generator" in out
+
+    def test_simulate_command(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--requests", "3000",
+                "--pods", "2",
+                "--traffic", "bursty",
+                "--rate", "4",
+                "--duration", "10",
+                "--router", "join-shortest-queue",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bursty traffic, join-shortest-queue routing" in out
+        assert "TTFT p50/p95/p99" in out
+
+    def test_simulate_closed_loop_command(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--requests", "3000",
+                "--traffic", "closed",
+                "--users", "4",
+                "--duration", "10",
+            ]
+        )
+        assert rc == 0
+        assert "closed-loop traffic" in capsys.readouterr().out
+
+    def test_simulate_unknown_llm(self, capsys):
+        rc = main(["simulate", "--requests", "3000", "--llm", "not-a-model"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

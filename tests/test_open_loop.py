@@ -30,8 +30,10 @@ class TestOpenLoop:
         res = run_open_loop_test(
             _engine(), generator, arrival_rate_per_s=1.0, duration_s=120.0, seed=2
         )
-        # concurrent_users carries the arrival count in open-loop mode.
-        assert 80 <= res.concurrent_users <= 170
+        assert 80 <= res.arrivals <= 170
+        # The closed-loop population field is no longer overloaded.
+        assert res.concurrent_users == 0
+        assert res.offered_rate_per_s == 1.0
 
     def test_underload_no_queueing(self, generator):
         """At a trickle arrival rate the server idles between requests."""
@@ -57,7 +59,7 @@ class TestOpenLoop:
         a = run_open_loop_test(_engine(5), generator, 0.5, duration_s=30.0, seed=7)
         b = run_open_loop_test(_engine(5), generator, 0.5, duration_s=30.0, seed=7)
         assert a.ttft_median_s == b.ttft_median_s
-        assert a.concurrent_users == b.concurrent_users
+        assert a.arrivals == b.arrivals
 
     def test_validation(self, generator):
         with pytest.raises(ValueError):
