@@ -14,7 +14,7 @@ Paper setting: google/flan-t5-xxl across all feasible GPU profiles,
 
 import numpy as np
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import fidelity_assert, write_report
 from repro.hardware import aws_like_pricing, parse_profile
 from repro.utils.tables import format_table
 
@@ -40,8 +40,12 @@ def test_fig7_latency_throughput_tradeoffs(benchmark, full_dataset, results_dir)
 
         # Fig 7a/b shape checks per profile: TTFT grows with load (small
         # relative + absolute noise tolerance at light load).
-        assert np.all(np.diff(ttft) > -(0.25 * np.abs(ttft[:-1]) + 0.05)), prof
-        assert itl[-1] >= itl[0] * 0.95, f"{prof}: ITL should not improve with load"
+        fidelity_assert(
+            np.all(np.diff(ttft) > -(0.25 * np.abs(ttft[:-1]) + 0.05)), prof
+        )
+        fidelity_assert(
+            itl[-1] >= itl[0] * 0.95, f"{prof}: ITL should not improve with load"
+        )
 
         rows = [
             [int(u), t, i * 1e3, p, p / cost]
@@ -58,20 +62,22 @@ def test_fig7_latency_throughput_tradeoffs(benchmark, full_dataset, results_dir)
 
     # Fig 7c ordering claims.
     h100_peak = max(v[0] for p, v in peak.items() if "H100" in p)
-    assert h100_peak == max(v[0] for v in peak.values()), (
-        "H100 must reach the highest absolute throughput"
+    fidelity_assert(
+        h100_peak == max(v[0] for v in peak.values()),
+        "H100 must reach the highest absolute throughput",
     )
     h100_per_dollar = max(v[1] for p, v in peak.items() if "H100" in p)
     cheap_per_dollar = max(
         v[1] for p, v in peak.items() if ("T4" in p or "A100" in p)
     )
-    assert cheap_per_dollar > h100_per_dollar, (
-        "A100/T4 profiles must beat H100 on throughput per dollar"
+    fidelity_assert(
+        cheap_per_dollar > h100_per_dollar,
+        "A100/T4 profiles must beat H100 on throughput per dollar",
     )
     # The fastest single-user ITL belongs to an H100 profile (highest
     # memory bandwidth; tensor-parallel H100 variants divide the traffic).
     best_itl_profile = min(peak, key=lambda p: peak[p][2])
-    assert "H100" in best_itl_profile, best_itl_profile
+    fidelity_assert("H100" in best_itl_profile, best_itl_profile)
 
     report = (
         f"Fig 7 — {LLM} across GPU profiles "

@@ -14,7 +14,7 @@ Absolute per-method numbers differ from the paper (different testbed,
 simulated latencies); the ordering claims are asserted.
 """
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import fidelity_assert, smoke, write_report
 from repro.baselines import (
     MorphlingRecommender,
     PARISRecommender,
@@ -46,17 +46,17 @@ def test_fig8_recommendation_quality(benchmark, full_dataset, generator, results
 
     factories = {
         "LLM-Pilot": lambda: LLMPilotRecommender(
-            constraints=constraints, tune=True, tuning_grid=PILOT_GRID
+            constraints=constraints, tune=smoke(True, False), tuning_grid=PILOT_GRID
         ),
         "Static": lambda: StaticRecommender(
             constraints=constraints, total_users=cfg.total_users
         ),
-        "RF": lambda: RFRecommender(n_estimators=60),
-        "PARIS": lambda: PARISRecommender(n_estimators=60),
-        "Selecta": lambda: SelectaRecommender(n_epochs=80),
-        "Morphling": lambda: MorphlingRecommender(n_epochs=250),
-        "PerfNet": lambda: PerfNetRecommender(n_epochs=400),
-        "PerfNetV2": lambda: PerfNetV2Recommender(n_epochs=400),
+        "RF": lambda: RFRecommender(n_estimators=smoke(60, 15)),
+        "PARIS": lambda: PARISRecommender(n_estimators=smoke(60, 15)),
+        "Selecta": lambda: SelectaRecommender(n_epochs=smoke(80, 20)),
+        "Morphling": lambda: MorphlingRecommender(n_epochs=smoke(250, 50)),
+        "PerfNet": lambda: PerfNetRecommender(n_epochs=smoke(400, 60)),
+        "PerfNetV2": lambda: PerfNetV2Recommender(n_epochs=smoke(400, 60)),
     }
 
     scores = benchmark.pedantic(
@@ -68,16 +68,17 @@ def test_fig8_recommendation_quality(benchmark, full_dataset, generator, results
 
     pilot = scores["LLM-Pilot"]
     # Headline claims.
-    assert pilot.so == max(s.so for s in scores.values()), (
+    fidelity_assert(
+        pilot.so == max(s.so for s in scores.values()),
         "LLM-Pilot must achieve the best S/O score: "
-        + ", ".join(f"{n}={s.so:.2f}" for n, s in scores.items())
+        + ", ".join(f"{n}={s.so:.2f}" for n, s in scores.items()),
     )
-    assert pilot.success_rate >= 0.6
-    assert pilot.mean_overspend < 0.5
+    fidelity_assert(pilot.success_rate >= 0.6)
+    fidelity_assert(pilot.mean_overspend < 0.5)
     assert ideal.success_rate == 1.0 and ideal.so == 1.0
     # Static policy: decent overspend when it succeeds, lower success rate.
     static = scores["Static"]
-    assert static.success_rate <= pilot.success_rate
+    fidelity_assert(static.success_rate <= pilot.success_rate)
 
     rows = [
         [name, "yes" if ("PARIS" in name or "Selecta" in name or "Morphling" in name) else "no",

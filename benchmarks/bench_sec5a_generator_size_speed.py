@@ -33,7 +33,7 @@ def test_sec5a_generator_size_and_speed(benchmark, traces, generator, results_di
     def sample_replay():
         return replay.sample_requests(1000, rng=0)
 
-    t_gen = benchmark.pedantic(sample_generator, rounds=20, iterations=1)
+    benchmark.pedantic(sample_generator, rounds=20, iterations=1)
     t0 = time.perf_counter()
     reps = 5
     for _ in range(reps):

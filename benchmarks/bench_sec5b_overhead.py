@@ -6,7 +6,7 @@ plus 3h of load testing (~20min/LLM), parallelized over GPU profiles.
 We replay the same accounting over the simulated campaign.
 """
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import fidelity_assert, write_report
 from repro.utils.tables import format_table
 
 
@@ -15,7 +15,9 @@ def test_sec5b_characterization_overhead(benchmark, full_outcome, results_dir):
 
     total_h = outcome.total_overhead_s / 3600.0
     serial_h = outcome.serial_overhead_s / 3600.0
-    assert 1.0 < total_h < 24.0, f"parallel overhead {total_h:.1f}h implausible"
+    fidelity_assert(
+        1.0 < total_h < 24.0, f"parallel overhead {total_h:.1f}h implausible"
+    )
     assert serial_h > total_h
     assert len(outcome.tuned_weights) >= 60  # feasible pairs characterized
 

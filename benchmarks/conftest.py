@@ -5,6 +5,13 @@ The heavy artifacts (trace collection, workload generator, the full
 every per-table/figure benchmark consumes them. Each benchmark writes a
 plain-text report with the same rows/series the paper presents to
 ``benchmarks/results/``.
+
+Setting ``REPRO_BENCH_SMOKE=1`` runs the suite in smoke mode: every
+benchmark exercises its full code path on sharply reduced durations and
+trace sizes so CI can catch crashes/regressions in minutes. Statistical
+fidelity assertions that need the full scale are skipped via
+``fidelity_assert`` — smoke mode checks that benchmarks *run*, not that
+the reduced-scale numbers still reproduce the paper's shapes.
 """
 
 import os
@@ -19,9 +26,24 @@ from repro.models import LLM_CATALOG
 from repro.traces import TraceConfig, TraceSynthesizer
 from repro.workload import WorkloadGenerator
 
+#: CI smoke mode: full code paths, reduced scale (see module docstring).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def smoke(full, reduced):
+    """Pick the scale parameter for the current mode."""
+    return reduced if SMOKE else full
+
+
+def fidelity_assert(condition, message=""):
+    """Assert a paper-shape property — only meaningful at full scale."""
+    if not SMOKE:
+        assert condition, message
+
+
 #: Experiment duration for characterization runs (virtual seconds). The
 #: paper uses 120s; 60s keeps the suite fast while preserving the shapes.
-BENCH_DURATION_S = 60.0
+BENCH_DURATION_S = smoke(60.0, 8.0)
 BENCH_SEED = 0
 
 
@@ -42,7 +64,7 @@ def write_report(results_dir: str, name: str, text: str) -> None:
 
 @pytest.fixture(scope="session")
 def traces():
-    config = TraceConfig(n_requests=150_000)
+    config = TraceConfig(n_requests=smoke(150_000, 25_000))
     return TraceSynthesizer(config=config, seed=BENCH_SEED).generate()
 
 

@@ -17,7 +17,6 @@ from repro import quickstart_generator
 from repro.characterization import (
     CharacterizationConfig,
     CharacterizationTool,
-    Feasibility,
 )
 from repro.hardware import default_profiles
 from repro.models import LLM_CATALOG

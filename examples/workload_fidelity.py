@@ -14,7 +14,6 @@ Run:  python examples/workload_fidelity.py
 
 import time
 
-import numpy as np
 
 from repro.analysis import compare_marginals, spearman_matrix
 from repro.characterization.loadtest import run_load_test

@@ -37,7 +37,13 @@ from repro.workload import WorkloadGenerator
 
 __version__ = "1.0.0"
 
-__all__ = ["quickstart_generator", "synthesize_traces", "WorkloadGenerator", "__version__"]
+__all__ = [
+    "quickstart_generator",
+    "synthesize_traces",
+    "TraceConfig",
+    "WorkloadGenerator",
+    "__version__",
+]
 
 
 def quickstart_generator(n_requests: int = 100_000, seed: int = 0) -> WorkloadGenerator:

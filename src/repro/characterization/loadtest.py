@@ -173,9 +173,14 @@ def run_load_test(
         concurrent_users,
     )
     ttft_median, nttft_median, itl_median, throughput, e2e = noisy_medians(
-        ttft, ttft_inputs, itl, completed,
-        engine.stats.tokens_generated, elapsed,
-        noise_rng, measurement_noise_sigma,
+        ttft,
+        ttft_inputs,
+        itl,
+        completed,
+        engine.stats.tokens_generated,
+        elapsed,
+        noise_rng,
+        measurement_noise_sigma,
     )
 
     return LoadTestResult(
@@ -239,9 +244,14 @@ def run_open_loop_test(
     itl = engine.itl_samples()
     noise_rng = derive_rng(seed, "open-loop-noise", arrival_rate_per_s)
     ttft_median, nttft_median, itl_median, throughput, e2e = noisy_medians(
-        ttft, ttft_inputs, itl, completed,
-        engine.stats.tokens_generated, elapsed,
-        noise_rng, measurement_noise_sigma,
+        ttft,
+        ttft_inputs,
+        itl,
+        completed,
+        engine.stats.tokens_generated,
+        elapsed,
+        noise_rng,
+        measurement_noise_sigma,
     )
 
     return LoadTestResult(

@@ -12,7 +12,10 @@ Subcommands mirror the two roles the paper defines (§I):
   - ``info``          workload-generator and catalog statistics;
   - ``simulate``      fleet-level what-if simulation: N pods on a shared
     virtual clock under closed-loop / Poisson / diurnal / bursty traffic
-    with a pluggable front-end router.
+    with a pluggable front-end router;
+  - ``autoscale``     the same fleet under an autoscaling policy
+    (threshold / target-utilization / predictive) and optional SLO-aware
+    admission control, reporting the scale-event log and pod-hour bill.
 """
 
 from __future__ import annotations
@@ -37,11 +40,19 @@ from repro.recommendation import (
 from repro.cluster import Deployment
 from repro.recommendation.pilot import LLMPilotRecommender
 from repro.simulation import (
+    AUTOSCALE_POLICIES,
     ROUTERS,
+    AdmissionController,
+    Autoscaler,
+    AutoscaleConfig,
     BurstyTraffic,
     ClosedLoopTraffic,
     DiurnalTraffic,
+    NoOpPolicy,
     PoissonTraffic,
+    PredictivePolicy,
+    TargetUtilizationPolicy,
+    ThresholdPolicy,
 )
 from repro.traces import TraceConfig, TraceDataset, TraceSynthesizer
 from repro.utils.rng import derive_rng
@@ -67,7 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_char.add_argument("--traces", help=".npz trace collection (else synthesized)")
     p_char.add_argument("--requests", type=int, default=100_000)
     p_char.add_argument(
-        "--llm", action="append", dest="llms",
+        "--llm",
+        action="append",
+        dest="llms",
         help="LLM name (repeatable; default: full catalog)",
     )
     p_char.add_argument("--duration", type=float, default=120.0)
@@ -89,32 +102,85 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.add_argument("--seed", type=int, default=0)
 
     p_sim = sub.add_parser("simulate", help="fleet-level traffic simulation")
-    p_sim.add_argument("--llm", default="Llama-2-13b")
-    p_sim.add_argument("--profile", default="1xA100-40GB")
-    p_sim.add_argument("--pods", type=int, default=2)
-    p_sim.add_argument("--max-batch-weight", type=int, default=12_000)
-    p_sim.add_argument("--router", choices=sorted(ROUTERS), default="least-loaded")
-    p_sim.add_argument(
+    _add_fleet_args(p_sim)
+
+    p_auto = sub.add_parser(
+        "autoscale", help="elastic fleet simulation under a scaling policy"
+    )
+    _add_fleet_args(p_auto)
+    p_auto.add_argument(
+        "--policy", choices=sorted(AUTOSCALE_POLICIES), default="threshold"
+    )
+    p_auto.add_argument("--min-pods", type=int, default=1)
+    p_auto.add_argument("--max-pods", type=int, default=16)
+    p_auto.add_argument(
+        "--interval", type=float, default=15.0, help="decision interval s"
+    )
+    p_auto.add_argument(
+        "--cold-start", type=float, default=10.0, help="pod cold-start delay s"
+    )
+    p_auto.add_argument(
+        "--metrics-window",
+        type=float,
+        default=30.0,
+        help="trailing window for windowed tails and arrival rates, s",
+    )
+    p_auto.add_argument(
+        "--slo-ttft-ms",
+        type=float,
+        default=2000.0,
+        help="p95 TTFT target for the threshold policy and admission control",
+    )
+    p_auto.add_argument(
+        "--target-util",
+        type=float,
+        default=0.6,
+        help="batch-weight utilization target (target-utilization policy)",
+    )
+    p_auto.add_argument(
+        "--pod-rate",
+        type=float,
+        default=2.0,
+        help="per-pod request capacity /s (predictive policy)",
+    )
+    p_auto.add_argument(
+        "--admission",
+        choices=["off", "shed", "defer"],
+        default="off",
+        help="SLO-aware admission control in front of the router",
+    )
+
+    return parser
+
+
+def _add_fleet_args(p: argparse.ArgumentParser) -> None:
+    """Flags shared by the ``simulate`` and ``autoscale`` subcommands."""
+    p.add_argument("--llm", default="Llama-2-13b")
+    p.add_argument("--profile", default="1xA100-40GB")
+    p.add_argument("--pods", type=int, default=2)
+    p.add_argument("--max-batch-weight", type=int, default=12_000)
+    p.add_argument("--router", choices=sorted(ROUTERS), default="least-loaded")
+    p.add_argument(
         "--traffic",
         choices=["closed", "poisson", "diurnal", "bursty"],
         default="poisson",
     )
-    p_sim.add_argument("--users", type=int, default=16, help="closed-loop population")
-    p_sim.add_argument(
-        "--rate", type=float, default=2.0,
+    p.add_argument("--users", type=int, default=16, help="closed-loop population")
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=2.0,
         help="arrival rate/s (base rate for diurnal, burst rate for bursty)",
     )
-    p_sim.add_argument("--amplitude", type=float, default=0.8, help="diurnal swing")
-    p_sim.add_argument("--period", type=float, default=300.0, help="diurnal period s")
-    p_sim.add_argument("--mean-on", type=float, default=20.0, help="bursty ON dwell s")
-    p_sim.add_argument("--mean-off", type=float, default=40.0, help="bursty OFF dwell s")
-    p_sim.add_argument("--duration", type=float, default=60.0)
-    p_sim.add_argument("--warmup", type=float, default=0.0)
-    p_sim.add_argument("--traces", help=".npz trace collection (else synthesized)")
-    p_sim.add_argument("--requests", type=int, default=50_000)
-    p_sim.add_argument("--seed", type=int, default=0)
-
-    return parser
+    p.add_argument("--amplitude", type=float, default=0.8, help="diurnal swing")
+    p.add_argument("--period", type=float, default=300.0, help="diurnal period s")
+    p.add_argument("--mean-on", type=float, default=20.0, help="bursty ON dwell s")
+    p.add_argument("--mean-off", type=float, default=40.0, help="bursty OFF dwell s")
+    p.add_argument("--duration", type=float, default=60.0)
+    p.add_argument("--warmup", type=float, default=0.0)
+    p.add_argument("--traces", help=".npz trace collection (else synthesized)")
+    p.add_argument("--requests", type=int, default=50_000)
+    p.add_argument("--seed", type=int, default=0)
 
 
 def _load_or_make_traces(args) -> TraceDataset:
@@ -281,15 +347,30 @@ def _cmd_simulate(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     rows = [
-        [p.pod, p.arrivals_routed, p.requests_completed, p.tokens_generated,
-         p.throughput_tokens_per_s, p.ttft.median_s, p.itl.median_s,
-         p.queue_depth_end]
+        [
+            p.pod,
+            p.arrivals_routed,
+            p.requests_completed,
+            p.tokens_generated,
+            p.throughput_tokens_per_s,
+            p.ttft.median_s,
+            p.itl.median_s,
+            p.queue_depth_end,
+        ]
         for p in res.per_pod
     ]
     print(
         format_table(
-            ["pod", "arrivals", "done", "tokens", "tok/s", "ttft p50",
-             "itl p50", "queue"],
+            [
+                "pod",
+                "arrivals",
+                "done",
+                "tokens",
+                "tok/s",
+                "ttft p50",
+                "itl p50",
+                "queue",
+            ],
             rows,
             floatfmt=".3f",
             title=(
@@ -309,12 +390,104 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _make_policy(args):
+    if args.policy == "threshold":
+        return ThresholdPolicy(slo_p95_ttft_s=args.slo_ttft_ms / 1e3)
+    if args.policy == "target-utilization":
+        return TargetUtilizationPolicy(target=args.target_util)
+    if args.policy == "predictive":
+        return PredictivePolicy(
+            requests_per_pod_per_s=args.pod_rate, horizon_s=args.cold_start
+        )
+    return NoOpPolicy()
+
+
+def _cmd_autoscale(args) -> int:
+    traces = _load_or_make_traces(args)
+    generator = WorkloadGenerator.fit(traces)
+    try:
+        llm = get_llm(args.llm)
+        profile = parse_profile(args.profile)
+        deployment = Deployment(
+            llm=llm,
+            profile=profile,
+            n_pods=args.pods,
+            max_batch_weight=args.max_batch_weight,
+            generator=generator,
+            seed=args.seed,
+        )
+        autoscaler = Autoscaler(
+            _make_policy(args),
+            AutoscaleConfig(
+                decision_interval_s=args.interval,
+                min_pods=args.min_pods,
+                max_pods=args.max_pods,
+                cold_start_s=args.cold_start,
+                metrics_window_s=args.metrics_window,
+            ),
+        )
+        router = ROUTERS[args.router]()
+        if args.admission != "off":
+            router = AdmissionController(
+                router,
+                slo_p95_ttft_s=args.slo_ttft_ms / 1e3,
+                window_s=args.metrics_window,
+                mode=args.admission,
+            )
+        res = deployment.simulate(
+            _make_traffic(args),
+            duration_s=args.duration,
+            router=router,
+            warmup_s=args.warmup,
+            stream_label=args.traffic,
+            autoscaler=autoscaler,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Outside the user-input error handler: a conservation violation is
+    # a simulator bug and should surface as a traceback, not "error:".
+    res.verify_conservation()
+    if res.scale_events:
+        rows = [
+            [f"{e.time_s:.0f}", e.direction, e.from_pods, e.to_pods, e.reason]
+            for e in res.scale_events
+        ]
+        print(
+            format_table(
+                ["t(s)", "dir", "from", "to", "reason"],
+                rows,
+                title=f"Scale events ({autoscaler.policy.name} policy):",
+            )
+        )
+    else:
+        print(f"No scale events ({autoscaler.policy.name} policy).")
+    states = [p.state for p in res.per_pod]
+    print(
+        f"\n{llm.name} on {profile.name} — {res.traffic} traffic, "
+        f"{res.router} routing, {res.duration_s:.0f}s window:\n"
+        f"  pods: {args.pods} initial -> {res.n_pods} serving at end "
+        f"({len(states)} provisioned overall, "
+        f"{states.count('retired')} retired, "
+        f"{states.count('draining')} draining); "
+        f"{res.pod_seconds:.0f} pod-seconds billed\n"
+        f"  arrivals {res.arrivals}: {res.admitted} admitted, {res.shed} shed"
+        + (f", {res.deferrals} deferrals" if res.deferrals else "")
+        + f"\n  completed {res.requests_completed}, "
+        f"{res.throughput_tokens_per_s:.1f} tok/s | "
+        f"TTFT p50/p95/p99 {res.ttft.median_s:.3f}/{res.ttft.p95_s:.3f}/"
+        f"{res.ttft.p99_s:.3f}s | ITL p95 {res.itl.p95_s:.4f}s"
+    )
+    return 0
+
+
 _COMMANDS = {
     "traces": _cmd_traces,
     "characterize": _cmd_characterize,
     "recommend": _cmd_recommend,
     "info": _cmd_info,
     "simulate": _cmd_simulate,
+    "autoscale": _cmd_autoscale,
 }
 
 

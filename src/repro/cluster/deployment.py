@@ -29,6 +29,7 @@ from repro.simulation.fleet import (
     RoundRobinRouter,
     Router,
 )
+from repro.simulation.autoscale import Autoscaler
 from repro.simulation.traffic import ClosedLoopTraffic, RequestSource, TrafficModel
 from repro.utils.rng import derive_rng, spawn_seed
 from repro.utils.stats import relative_std
@@ -105,22 +106,32 @@ class Deployment:
             seed=self.seed,
         )
 
+    def pod_factory(self, pod_serial: int) -> ContinuousBatchingEngine:
+        """A fresh engine for pod ``pod_serial`` with a stable seed.
+
+        Serials beyond the initial replica count are what the autoscaler
+        mints when it scales up; the seed derivation is the same, so an
+        autoscaled run is exactly reproducible.
+        """
+        return ContinuousBatchingEngine(
+            llm=self.llm,
+            profile=self.profile,
+            max_batch_weight=self.max_batch_weight,
+            seed=spawn_seed(
+                self.seed, "pod", self.llm.name, self.profile.name, pod_serial
+            ),
+        )
+
     def _pods(self) -> list[ContinuousBatchingEngine]:
         """Fresh engines, one per replica, with stable per-pod seeds."""
-        return [
-            ContinuousBatchingEngine(
-                llm=self.llm,
-                profile=self.profile,
-                max_batch_weight=self.max_batch_weight,
-                seed=spawn_seed(
-                    self.seed, "pod", self.llm.name, self.profile.name, pod_index
-                ),
-            )
-            for pod_index in range(self.n_pods)
-        ]
+        return [self.pod_factory(pod_index) for pod_index in range(self.n_pods)]
 
     def _make_fleet(
-        self, traffic: TrafficModel, router: Router | None, stream_label: object
+        self,
+        traffic: TrafficModel,
+        router: Router | None,
+        stream_label: object,
+        autoscaler: Autoscaler | None = None,
     ) -> FleetSimulator:
         """A fresh fleet over fresh pods and a seeded workload stream."""
         source = RequestSource(
@@ -129,7 +140,12 @@ class Deployment:
             self.max_batch_weight,
         )
         return FleetSimulator(
-            self._pods(), traffic, router or LeastLoadedRouter(), source
+            self._pods(),
+            traffic,
+            router or LeastLoadedRouter(),
+            source,
+            autoscaler=autoscaler,
+            pod_factory=self.pod_factory,
         )
 
     def simulate(
@@ -140,15 +156,20 @@ class Deployment:
         warmup_s: float = 0.0,
         stream_label: object = "deployment",
         keep_samples: bool = True,
+        autoscaler: Autoscaler | None = None,
     ) -> FleetResult:
         """Co-simulate the deployment under an arbitrary traffic model.
 
         This is the general entry point the old static user split could
         not express: open-loop, diurnal or bursty arrivals hitting the
         whole replica set through a front-end router on one shared
-        virtual clock.
+        virtual clock. With ``autoscaler`` set, ``n_pods`` is only the
+        *initial* fleet size — the policy resizes it on the shared clock
+        (cold-started pods join late, drained pods finish their residual
+        work and retire), and the result carries the scale-event log,
+        provisioned pod-seconds and shed/admitted counts.
         """
-        return self._make_fleet(traffic, router, stream_label).run(
+        return self._make_fleet(traffic, router, stream_label, autoscaler).run(
             duration_s=duration_s, warmup_s=warmup_s, keep_samples=keep_samples
         )
 
@@ -158,6 +179,7 @@ class Deployment:
         duration_s: float = 120.0,
         router: Router | None = None,
         measurement_noise_sigma: float = 0.015,
+        autoscaler: Autoscaler | None = None,
     ) -> DeploymentLoadTestResult:
         """Drive ``total_users`` closed-loop users against the deployment.
 
@@ -168,6 +190,10 @@ class Deployment:
         run-to-run spread that Table I quantifies with the relative
         standard deviation. Pods the router never sent work to are
         omitted from ``per_pod`` (a single user saturates nothing).
+
+        With ``autoscaler`` set the pod count follows the policy instead
+        of staying at ``n_pods``; ``result.fleet`` then carries the
+        scale-event log and pod-second bill.
         """
         if total_users < 1:
             raise ValueError(f"total_users must be >= 1, got {total_users}")
@@ -177,14 +203,19 @@ class Deployment:
             # static per-pod user split (follow-ups are sticky).
             router or RoundRobinRouter(),
             total_users,
+            autoscaler,
         )
         # Retained results carry aggregates only, mirroring the
         # single-pod keep_results=False default.
         fleet_result = fleet.run(duration_s=duration_s, keep_samples=False)
-        pods = fleet.pods
+        pods = fleet.all_pods
         # Actual per-pod user placement (== an even split for the default
         # round-robin router; custom routers may place users unevenly).
-        shares = fleet.initial_routed_counts
+        # Pods the autoscaler added after t=0 held none of the initial
+        # population.
+        shares = fleet.initial_routed_counts + [0] * (
+            len(pods) - len(fleet.initial_routed_counts)
+        )
         out = DeploymentLoadTestResult(
             n_pods=self.n_pods, total_users=total_users, fleet=fleet_result
         )
@@ -198,13 +229,22 @@ class Deployment:
             itl = engine.itl_samples()
             completed = list(engine.metrics.completed)
             noise_rng = derive_rng(
-                self.seed, "pod-noise", self.llm.name, self.profile.name,
-                pod_index, total_users,
+                self.seed,
+                "pod-noise",
+                self.llm.name,
+                self.profile.name,
+                pod_index,
+                total_users,
             )
             ttft_m, nttft_m, itl_m, throughput, e2e = noisy_medians(
-                ttft, ttft_inputs, itl, completed,
-                engine.stats.tokens_generated, elapsed,
-                noise_rng, measurement_noise_sigma,
+                ttft,
+                ttft_inputs,
+                itl,
+                completed,
+                engine.stats.tokens_generated,
+                elapsed,
+                noise_rng,
+                measurement_noise_sigma,
             )
             out.per_pod.append(
                 LoadTestResult(

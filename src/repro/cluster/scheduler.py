@@ -23,8 +23,13 @@ from dataclasses import dataclass, field
 from repro.hardware.profile import parse_profile
 from repro.recommendation.recommender import ProfileAssessment, Recommendation
 
-__all__ = ["ClusterInventory", "TenantRequest", "Placement", "ScheduleResult",
-           "MultiTenantScheduler"]
+__all__ = [
+    "ClusterInventory",
+    "TenantRequest",
+    "Placement",
+    "ScheduleResult",
+    "MultiTenantScheduler",
+]
 
 
 @dataclass

@@ -94,7 +94,11 @@ def evaluate_method(
             llm_spec, all_profiles, config.max_request_weight
         )
         oracle = best_deployment(
-            dataset, test_llm, all_profiles, pricing, config.constraints,
+            dataset,
+            test_llm,
+            all_profiles,
+            pricing,
+            config.constraints,
             config.total_users,
         )
         if candidates:

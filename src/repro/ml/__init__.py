@@ -37,4 +37,10 @@ __all__ = [
     "leave_one_group_out",
     "grid_iter",
     "GridSearch",
+    "tree_to_dict",
+    "tree_from_dict",
+    "gbm_to_dict",
+    "gbm_from_dict",
+    "save_gbm",
+    "load_gbm",
 ]

@@ -105,7 +105,10 @@ def recommend_from_predictions(
         if umax < 1:
             assessments.append(
                 ProfileAssessment(
-                    profile=name, umax=0, n_pods=0, pod_cost=pod_cost,
+                    profile=name,
+                    umax=0,
+                    n_pods=0,
+                    pod_cost=pod_cost,
                     total_cost=float("inf"),
                 )
             )

@@ -21,9 +21,22 @@ from repro.simulation.fleet import (
     LeastLoadedRouter,
     JoinShortestQueueRouter,
     ROUTERS,
+    ScaleEvent,
     PodStats,
     FleetResult,
     FleetSimulator,
+)
+from repro.simulation.autoscale import (
+    AUTOSCALE_POLICIES,
+    AdmissionController,
+    AutoscaleConfig,
+    AutoscalePolicy,
+    Autoscaler,
+    FleetView,
+    NoOpPolicy,
+    PredictivePolicy,
+    TargetUtilizationPolicy,
+    ThresholdPolicy,
 )
 
 __all__ = [
@@ -40,7 +53,18 @@ __all__ = [
     "LeastLoadedRouter",
     "JoinShortestQueueRouter",
     "ROUTERS",
+    "ScaleEvent",
     "PodStats",
     "FleetResult",
     "FleetSimulator",
+    "AUTOSCALE_POLICIES",
+    "AdmissionController",
+    "AutoscaleConfig",
+    "AutoscalePolicy",
+    "Autoscaler",
+    "FleetView",
+    "NoOpPolicy",
+    "PredictivePolicy",
+    "TargetUtilizationPolicy",
+    "ThresholdPolicy",
 ]

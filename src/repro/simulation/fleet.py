@@ -9,22 +9,31 @@ end routing open-loop or bursty traffic over replicas. The
 * arrivals come from a :class:`~repro.simulation.traffic.TrafficModel`
   (scheduled open-loop arrivals and/or completion-driven closed-loop
   resubmissions);
-* a pluggable :class:`Router` picks the pod for every arrival;
+* a pluggable :class:`Router` picks the pod for every arrival; a router
+  that also implements ``admit()`` (the
+  :class:`~repro.simulation.autoscale.AdmissionController`) may shed or
+  defer arrivals before they reach a pod;
+* an optional :class:`~repro.simulation.autoscale.Autoscaler` resizes
+  the fleet on a fixed decision interval of the shared clock: new pods
+  become routable after a cold-start delay, removed pods drain (finish
+  the work already routed to them, reject new routes) and retire;
 * the event loop always steps the busy pod with the smallest virtual
   time, so cross-pod causality (an arrival routed at time t can only be
   influenced by state no later than t) is preserved.
 
-With a single pod the loop is step-for-step identical to the paper's
-hand-written closed-loop/open-loop drivers, which is what lets
-``characterization.loadtest`` delegate here without changing any seeded
-output.
+With a single pod and no autoscaler the loop is step-for-step identical
+to the paper's hand-written closed-loop/open-loop drivers, which is what
+lets ``characterization.loadtest`` delegate here without changing any
+seeded output.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
 
 from repro.simulation.metrics import LatencyStats, MetricsCollector
 from repro.simulation.traffic import RequestSource, TrafficModel
@@ -32,6 +41,7 @@ from repro.simulation.traffic import RequestSource, TrafficModel
 if TYPE_CHECKING:  # import cycle: the engine itself imports this package
     from repro.inference.engine import ContinuousBatchingEngine
     from repro.inference.request import InferenceRequest
+    from repro.simulation.autoscale import Autoscaler, FleetView
 
 __all__ = [
     "Router",
@@ -39,6 +49,7 @@ __all__ = [
     "LeastLoadedRouter",
     "JoinShortestQueueRouter",
     "ROUTERS",
+    "ScaleEvent",
     "PodStats",
     "FleetResult",
     "FleetSimulator",
@@ -116,6 +127,20 @@ ROUTERS: dict[str, type[Router]] = {
 }
 
 
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler decision that changed the provisioned pod count."""
+
+    time_s: float
+    from_pods: int
+    to_pods: int
+    reason: str
+
+    @property
+    def direction(self) -> str:
+        return "up" if self.to_pods > self.from_pods else "down"
+
+
 @dataclass
 class PodStats:
     """Per-pod outcome of a fleet run."""
@@ -130,11 +155,22 @@ class PodStats:
     time_s: float
     ttft: LatencyStats
     itl: LatencyStats
+    state: str = "serving"
 
 
 @dataclass
 class FleetResult:
-    """Aggregate + per-pod outcome of one fleet simulation."""
+    """Aggregate + per-pod outcome of one fleet simulation.
+
+    ``arrivals`` counts every request *offered* to the front end;
+    ``admitted`` the ones that reached a pod, ``shed`` the ones rejected
+    by admission control (``arrivals == admitted + shed``, checked by
+    :meth:`verify_conservation`). ``requests_completed`` counts
+    completions of requests submitted inside the measured window (as the
+    load-test harness reports), while ``completed_total`` counts every
+    completion of the whole run — that is what conservation is stated
+    over, together with the work still in flight at the end.
+    """
 
     n_pods: int
     traffic: str
@@ -149,15 +185,49 @@ class FleetResult:
     ttft: LatencyStats
     itl: LatencyStats
     e2e: LatencyStats
+    admitted: int = 0
+    shed: int = 0
+    deferrals: int = 0
+    completed_total: int = 0
+    in_flight_end: int = 0
+    pod_seconds: float = 0.0
+    scale_events: list[ScaleEvent] = field(default_factory=list, repr=False)
     per_pod: list[PodStats] = field(default_factory=list, repr=False)
     metrics: MetricsCollector | None = field(default=None, repr=False)
+
+    @property
+    def pod_hours(self) -> float:
+        return self.pod_seconds / 3600.0
+
+    def verify_conservation(self) -> None:
+        """Raise if any offered request was lost or double-counted.
+
+        Every offered arrival is either admitted or shed, and every
+        admitted request is either completed or still in flight (queued
+        or decoding) when the run ends. Shed and drained requests can
+        therefore never inflate throughput: tokens only come from
+        admitted work, counted once per owning pod.
+        """
+        if self.admitted + self.shed != self.arrivals:
+            raise ValueError(
+                f"admission leak: admitted {self.admitted} + shed {self.shed} "
+                f"!= arrivals {self.arrivals}"
+            )
+        if self.completed_total + self.in_flight_end != self.admitted:
+            raise ValueError(
+                f"request leak: completed {self.completed_total} + in-flight "
+                f"{self.in_flight_end} != admitted {self.admitted}"
+            )
 
     def as_row(self) -> dict[str, float]:
         row = {
             "n_pods": float(self.n_pods),
             "arrivals": float(self.arrivals),
+            "admitted": float(self.admitted),
+            "shed": float(self.shed),
             "requests_completed": float(self.requests_completed),
             "throughput_tokens_per_s": self.throughput_tokens_per_s,
+            "pod_seconds": self.pod_seconds,
         }
         row.update(self.ttft.as_row("ttft"))
         row.update(self.itl.as_row("itl"))
@@ -166,7 +236,12 @@ class FleetResult:
 
 
 class FleetSimulator:
-    """Co-simulates N pods under one traffic model and router."""
+    """Co-simulates N pods under one traffic model and router.
+
+    With ``autoscaler`` set, ``pod_factory`` must be able to mint a fresh
+    engine for any pod serial (stable seeds per serial keep runs
+    reproducible); the initial ``pods`` occupy serials ``0..len-1``.
+    """
 
     def __init__(
         self,
@@ -174,17 +249,72 @@ class FleetSimulator:
         traffic: TrafficModel,
         router: Router,
         source: RequestSource,
+        autoscaler: "Autoscaler | None" = None,
+        pod_factory: Callable[[int], "ContinuousBatchingEngine"] | None = None,
     ) -> None:
         if not pods:
             raise ValueError("FleetSimulator needs at least one pod")
+        if autoscaler is not None and pod_factory is None:
+            raise ValueError("an autoscaled fleet needs a pod_factory")
         self.pods = list(pods)
         self.traffic = traffic
         self.router = router
         self.source = source
+        self.autoscaler = autoscaler
+        self.pod_factory = pod_factory
+        # Admission control is duck-typed off the router to keep the
+        # Router protocol minimal (see autoscale.AdmissionController).
+        self._admission = router if hasattr(router, "admit") else None
         self.arrivals = 0
+        self.shed = 0
+        self.deferrals = 0
         self.routed_counts = [0] * len(self.pods)
         self.initial_routed_counts = [0] * len(self.pods)
+        self.scale_events: list[ScaleEvent] = []
+        # Every engine ever provisioned, in serial order; self.pods is
+        # the routable subset, _starting/_draining/_retired the rest.
+        self._all_pods = list(self.pods)
+        self._serials = {id(pod): i for i, pod in enumerate(self.pods)}
+        self._routable = set(range(len(self.pods)))
+        self._starting: list[tuple[float, int, "ContinuousBatchingEngine"]] = []
+        self._draining: list["ContinuousBatchingEngine"] = []
+        self._completions = 0
         self._seq = 0
+        self._pending: list = []
+        self._pod_seconds = 0.0
+        self._billed_to = 0.0
+        self._window_arrivals: dict[int, int] = {}
+        self._arrival_window_s = (
+            autoscaler.config.metrics_window_s if autoscaler else 10.0
+        )
+
+    @property
+    def all_pods(self) -> list["ContinuousBatchingEngine"]:
+        """Every engine ever provisioned, in pod-serial order."""
+        return list(self._all_pods)
+
+    @property
+    def provisioned(self) -> int:
+        """Pods currently billed: serving, cold-starting or draining."""
+        return len(self.pods) + len(self._starting) + len(self._draining)
+
+    def arrival_rate_series(
+        self, before_s: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(window_start_s, arrivals_per_s) offered-traffic series.
+
+        ``before_s`` drops the window containing it (and any later ones):
+        at a decision boundary the current window is only partially
+        observed and would bias a rate estimate low.
+        """
+        cut = int(before_s / self._arrival_window_s) if before_s is not None else None
+        windows = [w for w in self._window_arrivals if cut is None or w < cut]
+        if not windows:
+            return np.empty(0), np.empty(0)
+        lo, hi = min(windows), max(windows)
+        span = np.arange(lo, hi + 1)
+        counts = np.array([self._window_arrivals.get(int(w), 0) for w in span])
+        return span * self._arrival_window_s, counts / self._arrival_window_s
 
     # ---- event loop -------------------------------------------------------
 
@@ -218,9 +348,15 @@ class FleetSimulator:
             if pod.time > 0 or pod.has_work():
                 raise ValueError("FleetSimulator requires fresh engines")
         self.router.reset()
+        if self.autoscaler is not None:
+            self.autoscaler.reset()
 
         t_end = warmup_s + duration_s
-        pending: list[tuple[float, int, int | None, "InferenceRequest"]] = []
+        next_decision = (
+            self.autoscaler.config.decision_interval_s
+            if self.autoscaler is not None
+            else float("inf")
+        )
         for request in self.traffic.initial_arrivals(self.source):
             self._dispatch(request, 0.0)
         # Where the router placed the initial population (for closed-loop
@@ -230,44 +366,56 @@ class FleetSimulator:
 
         warmed_up = warmup_s == 0.0
         while True:
-            self._inject_due(pending, t_end)
-            busy = [i for i, pod in enumerate(self.pods) if pod.has_work()]
+            self._inject_due(t_end)
+            busy = [pod for pod in self._in_service() if pod.has_work()]
             if not busy:
                 break
-            pod_index = min(busy, key=lambda i: self.pods[i].time)
-            stepping = self.pods[pod_index]
+            stepping = min(busy, key=lambda pod: pod.time)
             if stepping.time >= t_end:
                 break
+            while next_decision <= stepping.time and next_decision < t_end:
+                self._autoscale_tick(next_decision)
+                next_decision += self.autoscaler.config.decision_interval_s
             if not warmed_up and stepping.time >= warmup_s:
-                for pod in self.pods:
+                # Reset every engine ever provisioned, not just the ones
+                # still in service: a pod retired before the warmup
+                # boundary must not leak its warmup samples into the
+                # merged result either.
+                for pod in self._all_pods:
                     pod.reset_metrics()
                 warmed_up = True
             finished = stepping.step()
+            self._completions += len(finished)
             for result in finished:
                 follow_up = self.traffic.on_complete(result, stepping.time, self.source)
                 if follow_up is not None:
                     self._seq += 1
-                    hint = pod_index if self.traffic.sticky else None
+                    hint = self._serials[id(stepping)] if self.traffic.sticky else None
                     heapq.heappush(
-                        pending, (stepping.time, self._seq, hint, follow_up)
+                        self._pending,
+                        (stepping.time, self._seq, hint, follow_up, False),
                     )
+            if self._draining:
+                self._retire_drained(stepping.time)
         # Follow-ups drawn by completions right at the window edge can
         # still be pending (their arrival lies beyond a lagging pod's
         # clock when the loop exits). Dispatch them so every request
         # drawn from the source is accounted as an arrival, exactly as
         # the single-pod driver submits boundary-crossing resubmissions.
-        while pending:
-            t, _, hint, request = heapq.heappop(pending)
-            self._dispatch(request, t, pod_hint=hint)
+        # They bypass admission control: shedding at the boundary would
+        # break arrival accounting parity with the single-pod driver.
+        while self._pending:
+            t, _, hint, request, counted = heapq.heappop(self._pending)
+            self._dispatch(request, t, pod_hint=hint, force=True, counted=counted)
         if not assemble_result:
             return None
         return self._result(duration_s, warmup_s, keep_samples)
 
-    def _inject_due(
-        self,
-        pending: list[tuple[float, int, int | None, "InferenceRequest"]],
-        cutoff: float,
-    ) -> None:
+    def _in_service(self) -> list["ContinuousBatchingEngine"]:
+        """Pods that may still be doing work: routable + draining."""
+        return self.pods + self._draining if self._draining else self.pods
+
+    def _inject_due(self, cutoff: float) -> None:
         """Submit every arrival that is due at the current fleet frontier.
 
         An arrival at time t is due once no busy pod's clock is behind t
@@ -275,45 +423,185 @@ class FleetSimulator:
         it in its past). When the whole fleet is idle the next arrival is
         due immediately — virtual time fast-forwards to it. Scheduled
         arrivals beyond ``cutoff`` are never materialized;
-        completion-driven resubmissions (already materialized) always
-        drain.
+        completion-driven resubmissions and deferred retries (already
+        materialized) always drain.
         """
         while True:
             t_sched = self.traffic.peek()
             if t_sched is not None and t_sched >= cutoff:
                 t_sched = None
-            t_pend = pending[0][0] if pending else None
+            t_pend = self._pending[0][0] if self._pending else None
             if t_pend is None and t_sched is None:
                 return
             use_pending = t_pend is not None and (t_sched is None or t_pend <= t_sched)
             t = t_pend if use_pending else t_sched
-            busy_times = [pod.time for pod in self.pods if pod.has_work()]
+            busy_times = [pod.time for pod in self._in_service() if pod.has_work()]
             if busy_times and t > min(busy_times):
                 return
             if use_pending:
-                t, _, hint, request = heapq.heappop(pending)
+                t, _, hint, request, counted = heapq.heappop(self._pending)
             else:
                 t, request = self.traffic.pop(self.source)
-                hint = None
-            self._dispatch(request, t, pod_hint=hint)
+                hint, counted = None, False
+            self._dispatch(request, t, pod_hint=hint, counted=counted)
 
     def _dispatch(
         self,
         request: "InferenceRequest",
         arrival_time: float,
         pod_hint: int | None = None,
+        force: bool = False,
+        counted: bool = False,
     ) -> None:
-        i = (
-            pod_hint
-            if pod_hint is not None
-            else self.router.route(request, arrival_time, self.pods)
-        )
-        pod = self.pods[i]
+        """Offer one arrival to the front end.
+
+        ``pod_hint`` is a pod *serial* (sticky session affinity); a hint
+        pointing at a draining or retired pod falls back to the router.
+        ``counted`` marks deferred retries whose first offer was already
+        tallied; ``force`` bypasses admission control (end-of-run drain).
+        """
+        self._activate_ready(arrival_time)
+        if not counted:
+            self.arrivals += 1
+            window = int(arrival_time / self._arrival_window_s)
+            self._window_arrivals[window] = self._window_arrivals.get(window, 0) + 1
+        pod = None
+        if pod_hint is not None and pod_hint in self._routable:
+            pod = self._all_pods[pod_hint]
+        if pod is None:
+            if pod_hint is None and not force and self._admission is not None:
+                decision = self._admission.admit(request, arrival_time, self.pods)
+                if decision == "shed":
+                    self.shed += 1
+                    return
+                if decision == "defer":
+                    self.deferrals += 1
+                    self._seq += 1
+                    heapq.heappush(
+                        self._pending,
+                        (
+                            arrival_time + self._admission.retry_delay_s,
+                            self._seq,
+                            None,
+                            request,
+                            True,
+                        ),
+                    )
+                    return
+            i = self.router.route(request, arrival_time, self.pods)
+            pod = self.pods[i]
         if pod.time < arrival_time:
             pod.advance_to(arrival_time)
         pod.submit(request, arrival_time=arrival_time)
-        self.arrivals += 1
-        self.routed_counts[i] += 1
+        self.routed_counts[self._serials[id(pod)]] += 1
+
+    # ---- elasticity -------------------------------------------------------
+
+    def _bill(self, now: float) -> None:
+        """Accrue pod-seconds for the provisioned fleet up to ``now``."""
+        if now > self._billed_to:
+            self._pod_seconds += (now - self._billed_to) * self.provisioned
+            self._billed_to = now
+
+    def _activate_ready(self, now: float) -> None:
+        """Move cold-started pods whose ready time has passed into service."""
+        while self._starting and self._starting[0][0] <= now:
+            ready, serial, pod = self._starting.pop(0)
+            pod.advance_to(ready)
+            self.pods.append(pod)
+            self._routable.add(serial)
+
+    def _retire_drained(self, now: float) -> None:
+        """Retire draining pods that have finished their residual work."""
+        still = []
+        for pod in self._draining:
+            if pod.has_work():
+                still.append(pod)
+            else:
+                # The pod actually went idle at its own clock, which can
+                # precede the frontier we detect it at: bill to the
+                # frontier, then refund the idle tail.
+                self._bill(now)
+                self._pod_seconds -= max(0.0, now - pod.time)
+        self._draining = still
+
+    def _autoscale_tick(self, t: float) -> None:
+        """One decision boundary: observe, decide, resize."""
+        self._activate_ready(t)
+        self._retire_drained(t)
+        view = self._view(t)
+        desired = self.autoscaler.desired_pods(view)
+        current = len(self.pods) + len(self._starting)
+        if desired == current:
+            return
+        self._bill(t)
+        if desired > current:
+            cold = self.autoscaler.config.cold_start_s
+            for _ in range(desired - current):
+                serial = len(self._all_pods)
+                pod = self.pod_factory(serial)
+                if pod.time > 0 or pod.has_work():
+                    raise ValueError("pod_factory must return fresh engines")
+                self._all_pods.append(pod)
+                self._serials[id(pod)] = serial
+                self.routed_counts.append(0)
+                self._starting.append((t + cold, serial, pod))
+        else:
+            delta = current - desired
+            # Cancel pods still cold-starting first (newest first)...
+            while delta and self._starting:
+                self._starting.pop()
+                delta -= 1
+            # ...then drain serving pods, lightest committed load first,
+            # newest first on ties; never drain the last routable pod.
+            while delta and len(self.pods) > 1:
+                victim = min(
+                    self.pods,
+                    key=lambda p: (
+                        p.batch_weight_in_use + p.pending_weight,
+                        -self._serials[id(p)],
+                    ),
+                )
+                self.pods.remove(victim)
+                self._routable.discard(self._serials[id(victim)])
+                self._draining.append(victim)
+                delta -= 1
+        self.scale_events.append(
+            ScaleEvent(
+                time_s=t,
+                from_pods=current,
+                to_pods=desired,
+                reason=self.autoscaler.policy.name,
+            )
+        )
+
+    def _view(self, t: float) -> "FleetView":
+        from repro.simulation.autoscale import FleetView, recent_ttft_samples
+
+        window = self.autoscaler.config.metrics_window_s
+        samples = recent_ttft_samples(self._in_service(), t, window)
+        p95 = float(np.percentile(samples, 95.0)) if samples.size else float("nan")
+        if self.pods:
+            utilization = float(
+                np.mean(
+                    [p.batch_weight_in_use / p.max_batch_weight for p in self.pods]
+                )
+            )
+        else:
+            utilization = float("nan")
+        times, rates = self.arrival_rate_series(before_s=t)
+        return FleetView(
+            time=t,
+            pods=len(self.pods),
+            starting=len(self._starting),
+            draining=len(self._draining),
+            queue_depth=sum(p.queue_depth for p in self.pods),
+            active_requests=sum(p.active_requests for p in self.pods),
+            utilization=utilization,
+            p95_ttft_s=p95,
+            arrival_times_s=times,
+            arrival_rates_per_s=rates,
+        )
 
     # ---- result assembly --------------------------------------------------
 
@@ -321,20 +609,31 @@ class FleetSimulator:
         self, duration_s: float, warmup_s: float, keep_samples: bool
     ) -> FleetResult:
         t_end = warmup_s + duration_s
-        time_s = max(max(pod.time for pod in self.pods), t_end)
+        time_s = max(max(pod.time for pod in self._all_pods), t_end)
+        self._bill(time_s)
         elapsed = time_s - warmup_s
-        collectors = [pod.metrics for pod in self.pods]
+        collectors = [pod.metrics for pod in self._all_pods]
         merged = MetricsCollector.merged(collectors)
-        tokens = sum(pod.stats.tokens_generated for pod in self.pods)
+        tokens = sum(pod.stats.tokens_generated for pod in self._all_pods)
+        draining = set(map(id, self._draining))
+        starting = {id(pod) for _, _, pod in self._starting}
         per_pod = []
-        for i, pod in enumerate(self.pods):
+        for serial, pod in enumerate(self._all_pods):
             completed = [
                 r for r in pod.metrics.completed if r.submitted_at >= warmup_s
             ]
+            if serial in self._routable:
+                state = "serving"
+            elif id(pod) in draining:
+                state = "draining"
+            elif id(pod) in starting:
+                state = "starting"
+            else:
+                state = "retired"
             per_pod.append(
                 PodStats(
-                    pod=i,
-                    arrivals_routed=self.routed_counts[i],
+                    pod=serial,
+                    arrivals_routed=self.routed_counts[serial],
                     requests_completed=len(completed),
                     tokens_generated=pod.stats.tokens_generated,
                     throughput_tokens_per_s=pod.stats.tokens_generated / elapsed,
@@ -343,8 +642,12 @@ class FleetSimulator:
                     time_s=pod.time,
                     ttft=pod.metrics.ttft_stats(),
                     itl=pod.metrics.itl_stats(),
+                    state=state,
                 )
             )
+        in_flight = sum(
+            pod.queue_depth + pod.active_requests for pod in self._all_pods
+        )
         return FleetResult(
             n_pods=len(self.pods),
             traffic=self.traffic.name,
@@ -353,9 +656,16 @@ class FleetSimulator:
             warmup_s=warmup_s,
             time_s=time_s,
             arrivals=self.arrivals,
+            admitted=self.arrivals - self.shed,
+            shed=self.shed,
+            deferrals=self.deferrals,
+            completed_total=self._completions,
+            in_flight_end=in_flight,
             requests_completed=sum(p.requests_completed for p in per_pod),
             tokens_generated=tokens,
             throughput_tokens_per_s=tokens / elapsed,
+            pod_seconds=self._pod_seconds,
+            scale_events=list(self.scale_events),
             ttft=merged.ttft_stats(),
             itl=merged.itl_stats(),
             e2e=LatencyStats.from_samples(merged.e2e_samples(warmup_s)),

@@ -13,6 +13,11 @@ engine emits events into. The collector owns three concerns:
 * **windowed time series** — per-window token counts, so non-stationary
   traffic (diurnal, bursty) can be inspected over time instead of only
   as one end-of-run aggregate.
+
+TTFT samples additionally carry the virtual time they were recorded at,
+so autoscaling policies and admission controllers can ask for the
+*trailing-window* tail (:meth:`MetricsCollector.ttft_since`) instead of
+the whole-run aggregate.
 """
 
 from __future__ import annotations
@@ -126,6 +131,11 @@ class MetricsCollector:
         self._itl = _GrowableArray()
         self._ttft = _GrowableArray()
         self._ttft_inputs = _GrowableArray(dtype=np.int64)
+        self._ttft_times = _GrowableArray()
+        # Record times are monotone for a collector fed by one engine;
+        # merged() concatenates several streams and clears this so
+        # ttft_since falls back from binary search to a full scan.
+        self._ttft_times_sorted = True
         self._window_tokens: dict[int, int] = {}
         self.completed: list["RequestResult"] = []
         self.tokens_recorded = 0
@@ -135,6 +145,7 @@ class MetricsCollector:
     def record_first_token(self, ttft_s: float, input_tokens: int, now: float) -> None:
         self._ttft.append(ttft_s)
         self._ttft_inputs.append(input_tokens)
+        self._ttft_times.append(now)
 
     def record_gaps(self, gaps: np.ndarray, now: float) -> None:
         self._itl.extend(gaps)
@@ -152,6 +163,8 @@ class MetricsCollector:
         self._itl.clear()
         self._ttft.clear()
         self._ttft_inputs.clear()
+        self._ttft_times.clear()
+        self._ttft_times_sorted = True
         self._window_tokens.clear()
         self.completed.clear()
         self.tokens_recorded = 0
@@ -165,6 +178,19 @@ class MetricsCollector:
     def ttft_samples(self) -> tuple[np.ndarray, np.ndarray]:
         """(ttft_seconds, input_tokens) for every first token served."""
         return self._ttft.values(), self._ttft_inputs.values()
+
+    def ttft_since(self, t: float) -> np.ndarray:
+        """TTFT samples recorded at virtual time >= ``t`` (trailing window).
+
+        For a single engine's collector record times are monotone and the
+        cut is a binary search plus a zero-copy slice; a merged collector
+        holds interleaved per-pod streams and takes the O(n) mask path.
+        """
+        times = self._ttft_times.values()
+        if self._ttft_times_sorted:
+            lo = int(np.searchsorted(times, t, side="left"))
+            return self._ttft.values()[lo:]
+        return self._ttft.values()[times >= t]
 
     def e2e_samples(self, min_submitted_at: float = 0.0) -> np.ndarray:
         return np.array(
@@ -197,10 +223,12 @@ class MetricsCollector:
         """Pool the samples of several per-pod collectors into one."""
         window_s = collectors[0].window_s if collectors else 10.0
         out = cls(window_s=window_s)
+        out._ttft_times_sorted = len(collectors) <= 1
         for c in collectors:
             out._itl.extend(c._itl.values())
             out._ttft.extend(c._ttft.values())
             out._ttft_inputs.extend(c._ttft_inputs.values())
+            out._ttft_times.extend(c._ttft_times.values())
             out.completed.extend(c.completed)
             out.tokens_recorded += c.tokens_recorded
             for window, tokens in c._window_tokens.items():

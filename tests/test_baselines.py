@@ -11,7 +11,6 @@ from repro.baselines import (
     RFRecommender,
     SelectaRecommender,
     StaticRecommender,
-    REFERENCE_PROFILES,
 )
 from repro.characterization import PerfDataset
 from repro.hardware import aws_like_pricing

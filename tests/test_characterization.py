@@ -1,7 +1,6 @@
 """Tests for the characterization tool: tuner, feasibility, load testing,
 dataset container and campaign runner."""
 
-import math
 
 import numpy as np
 import pytest
@@ -9,7 +8,6 @@ import pytest
 from repro.characterization import (
     BatchWeightTuner,
     CharacterizationConfig,
-    CharacterizationTool,
     Feasibility,
     PerfDataset,
     PerfRecord,
@@ -17,7 +15,7 @@ from repro.characterization import (
     run_load_test,
 )
 from repro.hardware import parse_profile
-from repro.inference import ContinuousBatchingEngine, MemoryModel
+from repro.inference import ContinuousBatchingEngine
 from repro.models import get_llm
 
 

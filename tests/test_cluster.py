@@ -1,6 +1,5 @@
 """Tests for the deployment layer: load balancing and pod scaling."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.models import LLM_CATALOG, LLMSpec, get_llm, list_llms
+from repro.models import LLM_CATALOG, get_llm, list_llms
 
 
 class TestCatalog:

@@ -1,7 +1,6 @@
 """Tests for the multi-tenant cluster scheduler (paper's next-step
 extension) and the analytic steady-state estimator."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import (

@@ -13,6 +13,8 @@ from repro.hardware import parse_profile
 from repro.inference import ContinuousBatchingEngine
 from repro.models import get_llm
 from repro.simulation import (
+    Autoscaler,
+    AutoscaleConfig,
     BurstyTraffic,
     ClosedLoopTraffic,
     DiurnalTraffic,
@@ -21,6 +23,7 @@ from repro.simulation import (
     LatencyStats,
     LeastLoadedRouter,
     MetricsCollector,
+    NoOpPolicy,
     PoissonTraffic,
     RequestSource,
     RoundRobinRouter,
@@ -112,6 +115,48 @@ class TestFleetEquivalence:
             assert mine.first_token_at == ref.first_token_at
             assert mine.finished_at == ref.finished_at
 
+    def test_noop_autoscaler_is_golden_identical(self, generator):
+        """A no-op-policy autoscaled fleet == the PR-1 static fleet path.
+
+        The autoscaler's decision ticks only *read* windowed metrics;
+        with the no-op policy they must not perturb a single engine step,
+        RNG draw or timestamp relative to the plain static fleet (whose
+        1-pod path is itself golden-pinned against the pre-refactor
+        harness in TestGoldenEquivalence).
+        """
+        users, seed, duration = 4, 3, 20.0
+        reference = run_load_test(
+            _engine(seed=seed), generator, users, duration_s=duration, seed=seed,
+            keep_results=True,
+        )
+
+        engine = _engine(seed=seed)
+        source = RequestSource(
+            generator, derive_rng(seed, "loadtest", users), engine.max_batch_weight
+        )
+        fleet = FleetSimulator(
+            [engine],
+            ClosedLoopTraffic(users),
+            RoundRobinRouter(),
+            source,
+            autoscaler=Autoscaler(
+                NoOpPolicy(),
+                AutoscaleConfig(decision_interval_s=2.0, metrics_window_s=5.0),
+            ),
+            pod_factory=lambda serial: _engine(seed=spawn_seed(seed, "pod", serial)),
+        )
+        res = fleet.run(duration_s=duration)
+        res.verify_conservation()
+        assert res.scale_events == []
+        assert res.pod_seconds == pytest.approx(res.time_s)
+        assert engine.stats.tokens_generated == reference.tokens_generated
+        assert len(engine.metrics.completed) == reference.requests_completed
+        assert engine.queue_depth == reference.queue_depth_end
+        for mine, ref in zip(engine.metrics.completed, reference.results):
+            assert mine.submitted_at == ref.submitted_at
+            assert mine.first_token_at == ref.first_token_at
+            assert mine.finished_at == ref.finished_at
+
     def test_round_robin_fleet_conserves_requests_and_tokens(self, generator):
         for n_pods in (2, 3):
             engines = [
@@ -125,7 +170,11 @@ class TestFleetEquivalence:
                 source,
             )
             res = fleet.run(duration_s=15.0)
-            # Every drawn request was routed exactly once...
+            # Every drawn request was routed exactly once (nothing was
+            # shed, drained or double-counted)...
+            res.verify_conservation()
+            assert res.admitted == res.arrivals
+            assert res.shed == 0
             assert sum(fleet.routed_counts) == fleet.arrivals == source.drawn
             assert sum(p.arrivals_routed for p in res.per_pod) == res.arrivals
             # ...token and completion counts add up across pods...

@@ -8,7 +8,6 @@ from repro.traces import (
     DEFAULT_ARCHETYPES,
     TraceConfig,
     TraceDataset,
-    TraceSynthesizer,
     synthesize_traces,
 )
 

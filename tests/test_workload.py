@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from scipy import stats
 
-from repro.traces import synthesize_traces
 from repro.workload import (
     Corpus,
     RequestModel,
