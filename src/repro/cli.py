@@ -15,7 +15,11 @@ Subcommands mirror the two roles the paper defines (§I):
     with a pluggable front-end router;
   - ``autoscale``     the same fleet under an autoscaling policy
     (threshold / target-utilization / predictive) and optional SLO-aware
-    admission control, reporting the scale-event log and pod-hour bill.
+    admission control, reporting the scale-event log and pod-hour bill;
+  - ``cluster-sim``   multi-tenant co-simulation: N tenants, each with
+    its own traffic, router/admission and autoscaler, contending for one
+    finite GPU inventory on one shared virtual clock — reports per-tenant
+    outcomes, denied/clipped scale-ups and per-GPU-type occupancy.
 """
 
 from __future__ import annotations
@@ -47,11 +51,14 @@ from repro.simulation import (
     AutoscaleConfig,
     BurstyTraffic,
     ClosedLoopTraffic,
+    ClusterInventory,
+    ClusterSimulator,
     DiurnalTraffic,
     NoOpPolicy,
     PoissonTraffic,
     PredictivePolicy,
     TargetUtilizationPolicy,
+    TenantGroup,
     ThresholdPolicy,
 )
 from repro.traces import TraceConfig, TraceDataset, TraceSynthesizer
@@ -149,6 +156,60 @@ def build_parser() -> argparse.ArgumentParser:
         default="off",
         help="SLO-aware admission control in front of the router",
     )
+
+    p_cluster = sub.add_parser(
+        "cluster-sim",
+        help="multi-tenant co-simulation on a finite GPU inventory",
+    )
+    p_cluster.add_argument(
+        "--tenant",
+        action="append",
+        dest="tenants",
+        required=True,
+        metavar="NAME:LLM:PROFILE:PODS:TRAFFIC:PARAM",
+        help=(
+            "one tenant (repeatable), e.g. "
+            "'chat:Llama-2-13b:1xA100-40GB:2:poisson:2.0'; TRAFFIC is "
+            "closed/poisson/diurnal/bursty, PARAM the user count (closed) "
+            "or arrival rate/s"
+        ),
+    )
+    p_cluster.add_argument(
+        "--capacity",
+        action="append",
+        dest="capacity",
+        required=True,
+        metavar="GPU=N",
+        help="GPU inventory (repeatable), e.g. 'A100-40GB=8'",
+    )
+    p_cluster.add_argument(
+        "--policy",
+        choices=["none", *sorted(AUTOSCALE_POLICIES)],
+        default="threshold",
+        help="per-tenant autoscaling policy ('none': static fleets)",
+    )
+    p_cluster.add_argument("--router", choices=sorted(ROUTERS), default="least-loaded")
+    p_cluster.add_argument("--max-batch-weight", type=int, default=12_000)
+    p_cluster.add_argument("--min-pods", type=int, default=1)
+    p_cluster.add_argument("--max-pods", type=int, default=16)
+    p_cluster.add_argument("--interval", type=float, default=15.0)
+    p_cluster.add_argument("--cold-start", type=float, default=10.0)
+    p_cluster.add_argument("--metrics-window", type=float, default=30.0)
+    p_cluster.add_argument("--slo-ttft-ms", type=float, default=2000.0)
+    p_cluster.add_argument("--target-util", type=float, default=0.6)
+    p_cluster.add_argument("--pod-rate", type=float, default=2.0)
+    p_cluster.add_argument(
+        "--admission", choices=["off", "shed", "defer"], default="off"
+    )
+    p_cluster.add_argument("--amplitude", type=float, default=0.8)
+    p_cluster.add_argument("--period", type=float, default=300.0)
+    p_cluster.add_argument("--mean-on", type=float, default=20.0)
+    p_cluster.add_argument("--mean-off", type=float, default=40.0)
+    p_cluster.add_argument("--duration", type=float, default=120.0)
+    p_cluster.add_argument("--warmup", type=float, default=0.0)
+    p_cluster.add_argument("--traces", help=".npz trace collection (else synthesized)")
+    p_cluster.add_argument("--requests", type=int, default=50_000)
+    p_cluster.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -307,19 +368,27 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _build_traffic(kind: str, param, rng, args):
+    """One traffic model; ``param`` is the user count (closed) or rate/s."""
+    if kind == "closed":
+        return ClosedLoopTraffic(int(param))
+    if kind == "poisson":
+        return PoissonTraffic(float(param), rng=rng)
+    if kind == "diurnal":
+        return DiurnalTraffic(
+            float(param), rng=rng, amplitude=args.amplitude, period_s=args.period
+        )
+    if kind == "bursty":
+        return BurstyTraffic(
+            float(param), rng=rng, mean_on_s=args.mean_on, mean_off_s=args.mean_off
+        )
+    raise ValueError(f"unknown traffic kind {kind!r}")
+
+
 def _make_traffic(args):
     rng = derive_rng(args.seed, "sim-traffic", args.traffic)
-    if args.traffic == "closed":
-        return ClosedLoopTraffic(args.users)
-    if args.traffic == "poisson":
-        return PoissonTraffic(args.rate, rng=rng)
-    if args.traffic == "diurnal":
-        return DiurnalTraffic(
-            args.rate, rng=rng, amplitude=args.amplitude, period_s=args.period
-        )
-    return BurstyTraffic(
-        args.rate, rng=rng, mean_on_s=args.mean_on, mean_off_s=args.mean_off
-    )
+    param = args.users if args.traffic == "closed" else args.rate
+    return _build_traffic(args.traffic, param, rng, args)
 
 
 def _cmd_simulate(args) -> int:
@@ -481,6 +550,140 @@ def _cmd_autoscale(args) -> int:
     return 0
 
 
+def _parse_tenant_group(spec: str, args, generator) -> TenantGroup:
+    parts = spec.split(":")
+    if len(parts) != 6:
+        raise ValueError(
+            f"tenant spec must be NAME:LLM:PROFILE:PODS:TRAFFIC:PARAM, got {spec!r}"
+        )
+    name, llm_name, profile_name, pods, kind, param = parts
+    deployment = Deployment(
+        llm=get_llm(llm_name),
+        profile=parse_profile(profile_name),
+        n_pods=int(pods),
+        max_batch_weight=args.max_batch_weight,
+        generator=generator,
+        seed=args.seed,
+    )
+    router = ROUTERS[args.router]()
+    if args.admission != "off":
+        router = AdmissionController(
+            router,
+            slo_p95_ttft_s=args.slo_ttft_ms / 1e3,
+            window_s=args.metrics_window,
+            mode=args.admission,
+        )
+    autoscaler = None
+    if args.policy != "none":
+        autoscaler = Autoscaler(
+            _make_policy(args),
+            AutoscaleConfig(
+                decision_interval_s=args.interval,
+                min_pods=args.min_pods,
+                max_pods=args.max_pods,
+                cold_start_s=args.cold_start,
+                metrics_window_s=args.metrics_window,
+            ),
+        )
+    traffic = _build_traffic(
+        kind, param, derive_rng(args.seed, "cluster-traffic", name), args
+    )
+    return deployment.tenant_group(
+        name,
+        traffic,
+        router=router,
+        autoscaler=autoscaler,
+        slo_p95_ttft_s=args.slo_ttft_ms / 1e3,
+    )
+
+
+def _cmd_cluster_sim(args) -> int:
+    traces = _load_or_make_traces(args)
+    generator = WorkloadGenerator.fit(traces)
+    try:
+        capacity = {}
+        for spec in args.capacity:
+            gpu, _, count = spec.partition("=")
+            if not count:
+                raise ValueError(f"capacity spec must be GPU=N, got {spec!r}")
+            capacity[gpu] = int(count)
+        groups = [_parse_tenant_group(s, args, generator) for s in args.tenants]
+        sim = ClusterSimulator(groups, ClusterInventory(capacity=capacity))
+        res = sim.run(duration_s=args.duration, warmup_s=args.warmup)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Outside the user-input error handler: a conservation violation is
+    # a simulator bug and should surface as a traceback, not "error:".
+    res.verify_conservation()
+    pricing = aws_like_pricing()
+    cost = res.cost(pricing)
+    rows = []
+    for tenant in res.tenants:
+        r = res.results[tenant]
+        ok = res.meets_slo(tenant)
+        rows.append(
+            [
+                tenant,
+                res.profiles[tenant],
+                r.n_pods,
+                r.arrivals,
+                r.shed,
+                r.requests_completed,
+                r.throughput_tokens_per_s,
+                r.ttft.p95_s,
+                "yes" if ok else "NO" if ok is not None else "-",
+                r.pod_seconds,
+                cost[tenant],
+            ]
+        )
+    print(
+        format_table(
+            [
+                "tenant",
+                "profile",
+                "pods",
+                "arrivals",
+                "shed",
+                "done",
+                "tok/s",
+                "ttft p95",
+                "slo",
+                "pod-sec",
+                "$",
+            ],
+            rows,
+            floatfmt=".2f",
+            title=(
+                f"{len(res.tenants)} tenants on one clock — "
+                f"{res.duration_s:.0f}s window, total "
+                f"${res.total_cost(pricing):.2f}:"
+            ),
+        )
+    )
+    contended = res.contended_scale_events()
+    if contended:
+        rows = [
+            [f"{e.time_s:.0f}", t, e.constraint, e.from_pods, e.requested, e.to_pods]
+            for t, e in contended
+        ]
+        print(
+            format_table(
+                ["t(s)", "tenant", "outcome", "from", "asked", "granted"],
+                rows,
+                title="\nInventory-constrained scale-ups:",
+            )
+        )
+    else:
+        print("\nNo denied or clipped scale-ups.")
+    peak = res.peak_occupancy()
+    print(
+        "Peak GPU occupancy: "
+        + ", ".join(f"{gpu} {peak[gpu]}/{cap}" for gpu, cap in res.capacity.items())
+    )
+    return 0
+
+
 _COMMANDS = {
     "traces": _cmd_traces,
     "characterize": _cmd_characterize,
@@ -488,6 +691,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "simulate": _cmd_simulate,
     "autoscale": _cmd_autoscale,
+    "cluster-sim": _cmd_cluster_sim,
 }
 
 

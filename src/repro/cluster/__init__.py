@@ -1,5 +1,6 @@
-"""Kubernetes-like deployment layer: replicated pods, load balancing and
-multi-tenant cluster scheduling (the paper's declared next step)."""
+"""Kubernetes-like deployment layer: replicated pods, load balancing,
+multi-tenant cluster scheduling and shared-clock multi-tenant
+co-simulation (the paper's declared next step)."""
 
 from repro.cluster.balancer import split_users, round_robin_assignment
 from repro.cluster.deployment import Deployment, DeploymentLoadTestResult
@@ -9,6 +10,12 @@ from repro.cluster.scheduler import (
     Placement,
     ScheduleResult,
     MultiTenantScheduler,
+)
+from repro.simulation.cluster import (
+    ClusterResult,
+    ClusterSimulator,
+    InventoryEvent,
+    TenantGroup,
 )
 
 __all__ = [
@@ -21,4 +28,8 @@ __all__ = [
     "Placement",
     "ScheduleResult",
     "MultiTenantScheduler",
+    "ClusterResult",
+    "ClusterSimulator",
+    "InventoryEvent",
+    "TenantGroup",
 ]

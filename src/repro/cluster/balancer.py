@@ -1,26 +1,13 @@
 """Load balancing across the pods of a deployment (paper §II-C).
 
-The platform load-balances users across independent pods; for the
-closed-loop benchmark harness this amounts to partitioning the user
-population as evenly as possible (round-robin assignment)."""
+User partitioning now lives with the sticky-session logic in
+:mod:`repro.simulation.traffic` (round-robin routing of a sticky
+closed-loop population produces exactly these splits); this module
+re-exports the public names so ``repro.cluster`` keeps its API.
+"""
 
 from __future__ import annotations
 
+from repro.simulation.traffic import round_robin_assignment, split_users
+
 __all__ = ["split_users", "round_robin_assignment"]
-
-
-def split_users(n_users: int, n_pods: int) -> list[int]:
-    """Users per pod under round-robin balancing (sums to ``n_users``)."""
-    if n_pods < 1:
-        raise ValueError(f"n_pods must be >= 1, got {n_pods}")
-    if n_users < 0:
-        raise ValueError(f"n_users must be >= 0, got {n_users}")
-    base, extra = divmod(n_users, n_pods)
-    return [base + (1 if i < extra else 0) for i in range(n_pods)]
-
-
-def round_robin_assignment(n_users: int, n_pods: int) -> list[int]:
-    """Pod index for each user id under round-robin assignment."""
-    if n_pods < 1:
-        raise ValueError(f"n_pods must be >= 1, got {n_pods}")
-    return [u % n_pods for u in range(n_users)]

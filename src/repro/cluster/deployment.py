@@ -30,6 +30,7 @@ from repro.simulation.fleet import (
     Router,
 )
 from repro.simulation.autoscale import Autoscaler
+from repro.simulation.cluster import TenantGroup
 from repro.simulation.traffic import ClosedLoopTraffic, RequestSource, TrafficModel
 from repro.utils.rng import derive_rng, spawn_seed
 from repro.utils.stats import relative_std
@@ -104,6 +105,58 @@ class Deployment:
             max_batch_weight=self.max_batch_weight,
             generator=self.generator,
             seed=self.seed,
+        )
+
+    def reconfigure(
+        self, profile: GPUProfile | None = None, n_pods: int | None = None
+    ) -> "Deployment":
+        """A copy moved to another GPU profile and/or replica count.
+
+        Changing the profile re-tunes the max batch weight for the new
+        hardware (the per-profile tuning the characterization tool
+        performs), since a weight tuned for one GPU's memory is wrong on
+        another.
+        """
+        new_profile = profile or self.profile
+        weight = self.max_batch_weight
+        if new_profile.name != self.profile.name:
+            from repro.characterization import BatchWeightTuner
+
+            weight = BatchWeightTuner(self.llm, new_profile).tune().max_batch_weight
+        return Deployment(
+            llm=self.llm,
+            profile=new_profile,
+            n_pods=self.n_pods if n_pods is None else n_pods,
+            max_batch_weight=weight,
+            generator=self.generator,
+            seed=self.seed,
+        )
+
+    def tenant_group(
+        self,
+        name: str,
+        traffic: TrafficModel,
+        router: Router | None = None,
+        autoscaler: Autoscaler | None = None,
+        slo_p95_ttft_s: float | None = None,
+        stream_label: object = None,
+    ) -> TenantGroup:
+        """Embed this deployment as one tenant of a cluster co-simulation.
+
+        The cluster-level entry point: the returned
+        :class:`~repro.simulation.cluster.TenantGroup` carries a fresh
+        fleet (own traffic model, router/admission and autoscaler) plus
+        the GPU profile its pods occupy, ready to be handed to a
+        :class:`~repro.simulation.cluster.ClusterSimulator` where it
+        contends with other tenants for one inventory on one clock.
+        """
+        label = name if stream_label is None else stream_label
+        fleet = self._make_fleet(traffic, router, label, autoscaler)
+        return TenantGroup(
+            name=name,
+            fleet=fleet,
+            profile=self.profile.name,
+            slo_p95_ttft_s=slo_p95_ttft_s,
         )
 
     def pod_factory(self, pod_serial: int) -> ContinuousBatchingEngine:

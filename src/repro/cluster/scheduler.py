@@ -5,12 +5,18 @@ multi-tenancy scenario, in which multiple users compete to deploy LLM
 inference services on the same hardware resources." This module
 implements that extension over the reproduction's machinery:
 
-* a :class:`ClusterInventory` of finite per-GPU-type capacity;
+* a :class:`ClusterInventory` of finite per-GPU-type capacity (the
+  clock-aware ledger from :mod:`repro.simulation.cluster`, used here as
+  static packing state);
 * placement of each tenant's *ranked* deployment options (as produced
   by the recommendation tool's per-profile assessments) under capacity
   constraints;
 * two policies — greedy-by-cost and a global best-fit that minimizes
-  total cluster cost while serving every tenant it can.
+  total cluster cost while serving every tenant it can;
+* a bridge from the static answer to the dynamic one:
+  :meth:`ScheduleResult.to_cluster_sim` turns the placements into the
+  initial tenant allocations of a shared-clock
+  :class:`~repro.simulation.cluster.ClusterSimulator`.
 
 Pods keep exclusive GPU access (no co-location, matching §II-C), so
 multi-tenancy is a packing problem over GPU counts.
@@ -19,9 +25,17 @@ multi-tenancy is a packing problem over GPU counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.hardware.profile import parse_profile
 from repro.recommendation.recommender import ProfileAssessment, Recommendation
+from repro.simulation.cluster import ClusterInventory, ClusterSimulator, TenantGroup
+
+if TYPE_CHECKING:
+    from repro.cluster.deployment import Deployment
+    from repro.simulation.autoscale import Autoscaler
+    from repro.simulation.fleet import Router
+    from repro.simulation.traffic import TrafficModel
 
 __all__ = [
     "ClusterInventory",
@@ -30,50 +44,6 @@ __all__ = [
     "ScheduleResult",
     "MultiTenantScheduler",
 ]
-
-
-@dataclass
-class ClusterInventory:
-    """Finite GPU inventory, by GPU type name."""
-
-    capacity: dict[str, int]
-    used: dict[str, int] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        for name, count in self.capacity.items():
-            if count < 0:
-                raise ValueError(f"negative capacity for {name}")
-            self.used.setdefault(name, 0)
-
-    def available(self, gpu_name: str) -> int:
-        return self.capacity.get(gpu_name, 0) - self.used.get(gpu_name, 0)
-
-    def can_fit(self, profile_name: str, pods: int) -> bool:
-        profile = parse_profile(profile_name)
-        return self.available(profile.gpu.name) >= profile.count * pods
-
-    def allocate(self, profile_name: str, pods: int) -> None:
-        profile = parse_profile(profile_name)
-        need = profile.count * pods
-        if self.available(profile.gpu.name) < need:
-            raise ValueError(
-                f"cannot allocate {need} x {profile.gpu.name}: only "
-                f"{self.available(profile.gpu.name)} available"
-            )
-        self.used[profile.gpu.name] = self.used.get(profile.gpu.name, 0) + need
-
-    def release(self, profile_name: str, pods: int) -> None:
-        profile = parse_profile(profile_name)
-        need = profile.count * pods
-        if self.used.get(profile.gpu.name, 0) < need:
-            raise ValueError("releasing more GPUs than allocated")
-        self.used[profile.gpu.name] -= need
-
-    def utilization(self) -> dict[str, float]:
-        return {
-            name: (self.used.get(name, 0) / cap if cap else 0.0)
-            for name, cap in self.capacity.items()
-        }
 
 
 @dataclass(frozen=True)
@@ -119,6 +89,51 @@ class ScheduleResult:
     @property
     def n_placed(self) -> int:
         return len(self.placements)
+
+    def to_cluster_sim(
+        self,
+        deployments: dict[str, "Deployment"],
+        traffics: dict[str, "TrafficModel"],
+        capacity: dict[str, int],
+        routers: dict[str, "Router"] | None = None,
+        autoscalers: dict[str, "Autoscaler"] | None = None,
+        slos: dict[str, float] | None = None,
+    ) -> ClusterSimulator:
+        """Turn the static packing answer into a shared-clock co-simulation.
+
+        Each placement becomes a tenant's initial allocation: the
+        tenant's :class:`~repro.cluster.deployment.Deployment` template
+        (which carries its LLM, workload generator and seed) is
+        reconfigured to the *scheduled* profile and pod count — with the
+        max batch weight re-tuned when the scheduler picked a different
+        profile than the template's — and embedded as a
+        :class:`~repro.simulation.cluster.TenantGroup` drawing from a
+        fresh :class:`~repro.simulation.cluster.ClusterInventory` of
+        ``capacity``. Per-tenant traffic is required; routers (possibly
+        admission controllers), autoscalers and reporting SLOs are
+        optional. Unplaced tenants are simply absent from the cluster,
+        exactly as the scheduler left them.
+        """
+        routers = routers or {}
+        autoscalers = autoscalers or {}
+        slos = slos or {}
+        groups = []
+        for placement in self.placements:
+            template = deployments[placement.tenant]
+            scheduled = template.reconfigure(
+                profile=parse_profile(placement.profile),
+                n_pods=placement.n_pods,
+            )
+            groups.append(
+                scheduled.tenant_group(
+                    placement.tenant,
+                    traffics[placement.tenant],
+                    router=routers.get(placement.tenant),
+                    autoscaler=autoscalers.get(placement.tenant),
+                    slo_p95_ttft_s=slos.get(placement.tenant),
+                )
+            )
+        return ClusterSimulator(groups, ClusterInventory(capacity=dict(capacity)))
 
 
 class MultiTenantScheduler:

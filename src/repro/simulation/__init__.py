@@ -2,8 +2,9 @@
 shared-clock fleet simulation with pluggable routing.
 
 This package is the substrate under the characterization harness
-(single-pod load tests), the cluster layer (multi-pod deployments) and
-the ``repro-pilot simulate`` CLI: one event loop, many scenarios.
+(single-pod load tests), the cluster layer (multi-pod deployments,
+multi-tenant co-simulation) and the ``repro-pilot simulate`` /
+``cluster-sim`` CLIs: one event loop, many scenarios.
 """
 
 from repro.simulation.metrics import LatencyStats, MetricsCollector
@@ -14,6 +15,8 @@ from repro.simulation.traffic import (
     PoissonTraffic,
     DiurnalTraffic,
     BurstyTraffic,
+    split_users,
+    round_robin_assignment,
 )
 from repro.simulation.fleet import (
     Router,
@@ -38,8 +41,22 @@ from repro.simulation.autoscale import (
     TargetUtilizationPolicy,
     ThresholdPolicy,
 )
+from repro.simulation.cluster import (
+    ClusterInventory,
+    ClusterResult,
+    ClusterSimulator,
+    InventoryEvent,
+    TenantGroup,
+)
 
 __all__ = [
+    "ClusterInventory",
+    "ClusterResult",
+    "ClusterSimulator",
+    "InventoryEvent",
+    "TenantGroup",
+    "split_users",
+    "round_robin_assignment",
     "LatencyStats",
     "MetricsCollector",
     "RequestSource",

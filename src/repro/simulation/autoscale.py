@@ -21,6 +21,14 @@ the elastic layer on top of the shared-clock substrate:
 
 Every policy is a pure function of the view — no RNG — so a seeded
 simulation produces an identical scale-event log on every run.
+
+Policies ask for pods; the substrate decides what is *grantable*. In a
+standalone fleet every clamped ask is filled; inside the multi-tenant
+:class:`~repro.simulation.cluster.ClusterSimulator` the shared
+:class:`~repro.simulation.cluster.ClusterInventory` may fill it only
+partially (``ScaleEvent.constraint == "clipped"``) or not at all
+(``"denied"``), which is how cross-tenant contention becomes observable
+in a tenant's scale-event log.
 """
 
 from __future__ import annotations

@@ -1,0 +1,413 @@
+"""Multi-tenant co-simulation: N tenants contending on one shared clock.
+
+The paper's conclusion names multi-tenancy as LLM-Pilot's next step —
+"multiple users compete to deploy LLM inference services on the same
+hardware resources". The static answer to that (which tenants *fit*) is
+the packing problem ``repro.cluster.scheduler`` solves; this module
+answers the dynamic question: what happens to each tenant's latency,
+throughput and bill when their autoscalers compete for the same finite
+GPUs *in time*.
+
+* :class:`ClusterInventory` is the finite per-GPU-type ledger,
+  generalized from the scheduler's static packing state into a
+  clock-aware resource ledger whose allocations and releases are
+  recorded as :class:`InventoryEvent`\\ s;
+* a :class:`TenantGroup` embeds one tenant's
+  :class:`~repro.simulation.fleet.FleetSimulator` — its own traffic
+  model, router, admission controller and autoscaler — in the cluster
+  loop, with a GPU profile naming what each of its pods occupies;
+* the :class:`ClusterSimulator` drives every tenant's fleet through the
+  fleet's co-simulation interface on ONE virtual clock, globally
+  ordering autoscale decisions by virtual time so tenants observe each
+  other only through the inventory: a scale-up the ledger cannot fill is
+  *denied* or *clipped* (recorded on the tenant's
+  :class:`~repro.simulation.fleet.ScaleEvent`), and GPUs freed by one
+  tenant's retirement become another tenant's scale-up headroom;
+* the :class:`ClusterResult` carries per-tenant
+  :class:`~repro.simulation.fleet.FleetResult`\\ s plus the cluster-level
+  series — per-GPU-type occupancy over time, aggregate pod-seconds and
+  the hourly-priced bill via :mod:`repro.hardware.pricing`.
+
+A cluster of one tenant degenerates to ``FleetSimulator.run``: the loop
+is the same extracted pieces, so the single-tenant path stays
+golden-identical to the standalone fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.pricing import PricingTable
+from repro.hardware.profile import parse_profile
+from repro.simulation.fleet import FleetResult, FleetSimulator, ScaleEvent
+
+__all__ = [
+    "InventoryEvent",
+    "ClusterInventory",
+    "TenantGroup",
+    "ClusterResult",
+    "ClusterSimulator",
+]
+
+
+@dataclass(frozen=True)
+class InventoryEvent:
+    """One attributed change of the cluster ledger, on the shared clock.
+
+    ``delta`` counts GPUs of type ``gpu`` (positive = allocated,
+    negative = released); ``reason`` is ``"initial"`` for the t=0 tenant
+    allocation, ``"scale-up"`` for autoscaler grants and ``"scale-down"``
+    for cancelled cold starts and retired pods.
+    """
+
+    time_s: float
+    tenant: str
+    gpu: str
+    delta: int
+    reason: str
+
+
+@dataclass
+class ClusterInventory:
+    """Finite GPU inventory, by GPU type name.
+
+    Doubles as the static packing state of the multi-tenant scheduler
+    (anonymous :meth:`allocate`/:meth:`release`, e.g. during the
+    best-fit search) and as the clock-aware ledger of the cluster
+    co-simulation: calls that name a ``tenant`` are stamped with virtual
+    time and appended to :attr:`events`, so occupancy over time is
+    reconstructible after a run.
+    """
+
+    capacity: dict[str, int]
+    used: dict[str, int] = field(default_factory=dict)
+    events: list[InventoryEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for name, count in self.capacity.items():
+            if count < 0:
+                raise ValueError(f"negative capacity for {name}")
+            self.used.setdefault(name, 0)
+
+    def available(self, gpu_name: str) -> int:
+        return self.capacity.get(gpu_name, 0) - self.used.get(gpu_name, 0)
+
+    def can_fit(self, profile_name: str, pods: int) -> bool:
+        profile = parse_profile(profile_name)
+        return self.available(profile.gpu.name) >= profile.count * pods
+
+    def fillable_pods(self, profile_name: str) -> int:
+        """How many whole pods of ``profile_name`` the remaining stock fills."""
+        profile = parse_profile(profile_name)
+        return self.available(profile.gpu.name) // profile.count
+
+    def allocate(
+        self,
+        profile_name: str,
+        pods: int,
+        tenant: str = "",
+        time_s: float = 0.0,
+        reason: str = "static",
+    ) -> None:
+        profile = parse_profile(profile_name)
+        need = profile.count * pods
+        if self.available(profile.gpu.name) < need:
+            raise ValueError(
+                f"cannot allocate {need} x {profile.gpu.name}: only "
+                f"{self.available(profile.gpu.name)} available"
+            )
+        self.used[profile.gpu.name] = self.used.get(profile.gpu.name, 0) + need
+        if tenant and need:
+            self.events.append(
+                InventoryEvent(time_s, tenant, profile.gpu.name, need, reason)
+            )
+
+    def release(
+        self,
+        profile_name: str,
+        pods: int,
+        tenant: str = "",
+        time_s: float = 0.0,
+        reason: str = "static",
+    ) -> None:
+        profile = parse_profile(profile_name)
+        need = profile.count * pods
+        if self.used.get(profile.gpu.name, 0) < need:
+            raise ValueError("releasing more GPUs than allocated")
+        self.used[profile.gpu.name] -= need
+        if tenant and need:
+            self.events.append(
+                InventoryEvent(time_s, tenant, profile.gpu.name, -need, reason)
+            )
+
+    def utilization(self) -> dict[str, float]:
+        return {
+            name: (self.used.get(name, 0) / cap if cap else 0.0)
+            for name, cap in self.capacity.items()
+        }
+
+
+@dataclass
+class TenantGroup:
+    """One tenant embedded in the cluster loop.
+
+    ``fleet`` carries the tenant's own traffic model, router (possibly
+    an admission controller) and autoscaler; ``profile`` names the GPU
+    profile each of its pods occupies in the shared inventory (e.g.
+    ``"2xA100-40GB"``); ``slo_p95_ttft_s`` is the tenant's latency
+    target, recorded for reporting only.
+    """
+
+    name: str
+    fleet: FleetSimulator
+    profile: str
+    slo_p95_ttft_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        parse_profile(self.profile)  # validate early
+
+
+@dataclass
+class ClusterResult:
+    """Per-tenant outcomes plus the cluster-level contention record."""
+
+    duration_s: float
+    warmup_s: float
+    time_s: float
+    capacity: dict[str, int]
+    tenants: list[str]
+    results: dict[str, FleetResult]
+    profiles: dict[str, str]
+    slos: dict[str, float | None]
+    end_provisioned: dict[str, int]
+    events: list[InventoryEvent] = field(default_factory=list, repr=False)
+    base_used: dict[str, int] = field(default_factory=dict, repr=False)
+
+    @property
+    def pod_seconds_total(self) -> float:
+        return sum(r.pod_seconds for r in self.results.values())
+
+    @property
+    def arrivals_total(self) -> int:
+        return sum(r.arrivals for r in self.results.values())
+
+    def contended_scale_events(self) -> list[tuple[str, ScaleEvent]]:
+        """Every denied or clipped scale-up, attributed to its tenant."""
+        out = []
+        for tenant in self.tenants:
+            for event in self.results[tenant].scale_events:
+                if event.constraint:
+                    out.append((tenant, event))
+        return out
+
+    def cost(self, pricing: PricingTable) -> dict[str, float]:
+        """Each tenant's bill: pod-seconds priced at its profile's c(G)."""
+        out = {}
+        for tenant in self.tenants:
+            pod_cost = pricing.pod_cost(parse_profile(self.profiles[tenant]))
+            out[tenant] = self.results[tenant].pod_seconds / 3600.0 * pod_cost
+        return out
+
+    def total_cost(self, pricing: PricingTable) -> float:
+        return sum(self.cost(pricing).values())
+
+    def occupancy_series(self, gpu_name: str) -> tuple[np.ndarray, np.ndarray]:
+        """(time_s, GPUs in use) step series for one GPU type."""
+        running = self.base_used.get(gpu_name, 0)
+        times = [0.0]
+        used = [running]
+        for event in sorted(self.events, key=lambda e: e.time_s):
+            if event.gpu != gpu_name:
+                continue
+            running += event.delta
+            times.append(event.time_s)
+            used.append(running)
+        return np.array(times), np.array(used)
+
+    def peak_occupancy(self) -> dict[str, int]:
+        """Max GPUs simultaneously in use, per GPU type."""
+        peaks = {}
+        for gpu in self.capacity:
+            _, used = self.occupancy_series(gpu)
+            peaks[gpu] = int(used.max())
+        return peaks
+
+    def meets_slo(self, tenant: str) -> bool | None:
+        """Did the tenant's p95 TTFT stay within its target (None: no SLO)."""
+        slo = self.slos.get(tenant)
+        if slo is None:
+            return None
+        return bool(self.results[tenant].ttft.p95_s <= slo)
+
+    def verify_conservation(self) -> None:
+        """Raise if any tenant leaked requests or the ledger went wrong.
+
+        Checks, in order: per-tenant request conservation (arrivals ==
+        admitted + shed == completed + in-flight + shed), the ledger
+        replay (occupancy never negative and never above capacity at any
+        event, in causal order), and that each tenant's net allocated
+        GPUs equal what its still-provisioned pods occupy at the end.
+        """
+        for result in self.results.values():
+            result.verify_conservation()
+        running = dict(self.base_used)
+        net: dict[str, int] = {}
+        for event in self.events:
+            running[event.gpu] = running.get(event.gpu, 0) + event.delta
+            if running[event.gpu] < 0:
+                raise ValueError(
+                    f"inventory leak: {event.gpu} below zero at t={event.time_s}"
+                )
+            if running[event.gpu] > self.capacity.get(event.gpu, 0):
+                raise ValueError(
+                    f"inventory over-allocated: {event.gpu} at "
+                    f"{running[event.gpu]} > capacity "
+                    f"{self.capacity.get(event.gpu, 0)} at t={event.time_s}"
+                )
+            net[event.tenant] = net.get(event.tenant, 0) + event.delta
+        for tenant in self.tenants:
+            per_pod = parse_profile(self.profiles[tenant]).count
+            holds = self.end_provisioned[tenant] * per_pod
+            if net.get(tenant, 0) != holds:
+                raise ValueError(
+                    f"ledger mismatch for {tenant}: net allocation "
+                    f"{net.get(tenant, 0)} != {holds} GPUs held at end"
+                )
+
+
+class ClusterSimulator:
+    """Runs N tenant fleets on one virtual clock over a shared inventory.
+
+    Each tenant's initial pods are allocated from the inventory at t=0
+    (raising if they do not fit — feed placements through the
+    multi-tenant scheduler first); thereafter every tenant autoscaler
+    ask is filled, clipped or denied by what the ledger holds at that
+    virtual instant. Decisions across tenants are processed in global
+    (time, tenant-order) order, so contention is deterministic for
+    seeded runs.
+    """
+
+    def __init__(
+        self, tenants: list[TenantGroup], inventory: ClusterInventory
+    ) -> None:
+        if not tenants:
+            raise ValueError("ClusterSimulator needs at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        self.tenants = list(tenants)
+        self.inventory = inventory
+
+    def _bind(self, group: TenantGroup) -> None:
+        """Subject one tenant's elasticity to the shared ledger."""
+
+        def acquire(want: int, t: float) -> int:
+            grant = min(want, self.inventory.fillable_pods(group.profile))
+            if grant > 0:
+                self.inventory.allocate(
+                    group.profile,
+                    grant,
+                    tenant=group.name,
+                    time_s=t,
+                    reason="scale-up",
+                )
+            return grant
+
+        def release(pods: int, t: float) -> None:
+            self.inventory.release(
+                group.profile,
+                pods,
+                tenant=group.name,
+                time_s=t,
+                reason="scale-down",
+            )
+
+        group.fleet.bind_capacity(acquire, release)
+
+    def run(
+        self,
+        duration_s: float,
+        warmup_s: float = 0.0,
+        keep_samples: bool = False,
+    ) -> ClusterResult:
+        """Co-simulate a ``warmup_s + duration_s`` window of virtual time.
+
+        The loop is the fleet's own event loop lifted one level: inject
+        every tenant's due arrivals, find the globally earliest busy
+        pod, run every autoscale decision due at or before that frontier
+        (cheapest virtual time first, across tenants), then step that
+        one pod. Tenants interact *only* through the inventory, so
+        per-tenant causality is exactly the standalone fleet's.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        if warmup_s < 0:
+            raise ValueError(f"warmup_s must be >= 0, got {warmup_s}")
+        t_end = warmup_s + duration_s
+        base_used = dict(self.inventory.used)
+        for group in self.tenants:
+            try:
+                self.inventory.allocate(
+                    group.profile,
+                    len(group.fleet.pods),
+                    tenant=group.name,
+                    time_s=0.0,
+                    reason="initial",
+                )
+            except ValueError as exc:
+                raise ValueError(
+                    f"initial allocation for tenant {group.name!r} does not "
+                    f"fit the inventory: {exc}"
+                ) from exc
+            self._bind(group)
+            group.fleet.begin(duration_s, warmup_s)
+
+        while True:
+            for group in self.tenants:
+                group.fleet.inject_due(t_end)
+            stepping: TenantGroup | None = None
+            pod = None
+            t_next = float("inf")
+            for group in self.tenants:
+                candidate = group.fleet.frontier_pod()
+                if candidate is not None and candidate.time < t_next:
+                    stepping, pod, t_next = group, candidate, candidate.time
+            if stepping is None or t_next >= t_end:
+                break
+            # Autoscale decisions due anywhere in the cluster run before
+            # the frontier pod steps, in global virtual-time order —
+            # tenant A's release at t can fund tenant B's grant at t' > t.
+            while True:
+                decider: TenantGroup | None = None
+                t_dec = float("inf")
+                for group in self.tenants:
+                    if group.fleet.next_decision < t_dec:
+                        decider, t_dec = group, group.fleet.next_decision
+                if decider is None or t_dec > t_next or t_dec >= t_end:
+                    break
+                decider.fleet.autoscale_tick()
+            stepping.fleet.step_pod(pod)
+        for group in self.tenants:
+            group.fleet.drain_pending()
+
+        results = {
+            g.name: g.fleet.collect(duration_s, warmup_s, keep_samples)
+            for g in self.tenants
+        }
+        return ClusterResult(
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            time_s=max(r.time_s for r in results.values()),
+            capacity=dict(self.inventory.capacity),
+            tenants=[g.name for g in self.tenants],
+            results=results,
+            profiles={g.name: g.profile for g in self.tenants},
+            slos={g.name: g.slo_p95_ttft_s for g in self.tenants},
+            end_provisioned={g.name: g.fleet.provisioned for g in self.tenants},
+            events=list(self.inventory.events),
+            base_used=base_used,
+        )

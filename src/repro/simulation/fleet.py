@@ -129,16 +129,35 @@ ROUTERS: dict[str, type[Router]] = {
 
 @dataclass(frozen=True)
 class ScaleEvent:
-    """One autoscaler decision that changed the provisioned pod count."""
+    """One autoscaler decision that (tried to) change the pod count.
+
+    ``requested`` is the provisioned count the policy asked for; it only
+    differs from ``to_pods`` when a finite cluster inventory could not
+    fill the ask, in which case ``constraint`` records the outcome:
+    ``"clipped"`` (partially filled) or ``"denied"`` (nothing granted).
+    Standalone fleets always have ``requested is None`` and an empty
+    ``constraint``.
+    """
 
     time_s: float
     from_pods: int
     to_pods: int
     reason: str
+    requested: int | None = None
+    constraint: str = ""
 
     @property
     def direction(self) -> str:
-        return "up" if self.to_pods > self.from_pods else "down"
+        target = self.to_pods if self.requested is None else self.requested
+        return "up" if target > self.from_pods else "down"
+
+    @property
+    def denied(self) -> bool:
+        return self.constraint == "denied"
+
+    @property
+    def clipped(self) -> bool:
+        return self.constraint == "clipped"
 
 
 @dataclass
@@ -287,6 +306,30 @@ class FleetSimulator:
         self._arrival_window_s = (
             autoscaler.config.metrics_window_s if autoscaler else 10.0
         )
+        # Capacity hooks (see bind_capacity): a cluster inventory may
+        # clip or deny scale-ups and reclaim GPUs on retirement. Unbound
+        # (the standalone case) every ask is granted in full.
+        self._acquire: Callable[[int, float], int] | None = None
+        self._release: Callable[[int, float], None] | None = None
+        self._warmed_up = True
+        self._warmup_s = 0.0
+        self._next_decision = float("inf")
+
+    def bind_capacity(
+        self,
+        acquire: Callable[[int, float], int],
+        release: Callable[[int, float], None],
+    ) -> None:
+        """Subject this fleet's elasticity to a finite resource ledger.
+
+        ``acquire(n, t)`` is consulted before provisioning ``n`` extra
+        pods at virtual time ``t`` and returns how many were granted
+        (0..n); ``release(n, t)`` hands capacity back when pods retire or
+        a cold start is cancelled. Used by the cluster co-simulation to
+        make tenants contend for one :class:`ClusterInventory`.
+        """
+        self._acquire = acquire
+        self._release = release
 
     @property
     def all_pods(self) -> list["ContinuousBatchingEngine"]:
@@ -340,6 +383,31 @@ class FleetSimulator:
         engines/collectors directly, like the single-pod load-test
         wrappers.
         """
+        t_end = warmup_s + duration_s
+        self.begin(duration_s, warmup_s)
+        while True:
+            self._inject_due(t_end)
+            stepping = self.frontier_pod()
+            if stepping is None or stepping.time >= t_end:
+                break
+            while self._next_decision <= stepping.time and self._next_decision < t_end:
+                self.autoscale_tick()
+            self.step_pod(stepping)
+        self.drain_pending()
+        if not assemble_result:
+            return None
+        return self._result(duration_s, warmup_s, keep_samples)
+
+    # ---- co-simulation interface ------------------------------------------
+    #
+    # ``run`` above is exactly these pieces glued together for one
+    # tenant; the cluster co-simulation (repro.simulation.cluster) drives
+    # N fleets through the same methods on one shared clock, globally
+    # ordering autoscale decisions so tenants contend for inventory in
+    # virtual-time order.
+
+    def begin(self, duration_s: float, warmup_s: float = 0.0) -> None:
+        """Validate, reset routing/scaling state, submit the t=0 population."""
         if duration_s <= 0:
             raise ValueError(f"duration_s must be positive, got {duration_s}")
         if warmup_s < 0:
@@ -350,9 +418,7 @@ class FleetSimulator:
         self.router.reset()
         if self.autoscaler is not None:
             self.autoscaler.reset()
-
-        t_end = warmup_s + duration_s
-        next_decision = (
+        self._next_decision = (
             self.autoscaler.config.decision_interval_s
             if self.autoscaler is not None
             else float("inf")
@@ -363,52 +429,79 @@ class FleetSimulator:
         # traffic this is the per-pod user assignment, since follow-ups
         # are sticky by default).
         self.initial_routed_counts = list(self.routed_counts)
+        self._warmup_s = warmup_s
+        self._warmed_up = warmup_s == 0.0
 
-        warmed_up = warmup_s == 0.0
-        while True:
-            self._inject_due(t_end)
-            busy = [pod for pod in self._in_service() if pod.has_work()]
-            if not busy:
-                break
-            stepping = min(busy, key=lambda pod: pod.time)
-            if stepping.time >= t_end:
-                break
-            while next_decision <= stepping.time and next_decision < t_end:
-                self._autoscale_tick(next_decision)
-                next_decision += self.autoscaler.config.decision_interval_s
-            if not warmed_up and stepping.time >= warmup_s:
-                # Reset every engine ever provisioned, not just the ones
-                # still in service: a pod retired before the warmup
-                # boundary must not leak its warmup samples into the
-                # merged result either.
-                for pod in self._all_pods:
-                    pod.reset_metrics()
-                warmed_up = True
-            finished = stepping.step()
-            self._completions += len(finished)
-            for result in finished:
-                follow_up = self.traffic.on_complete(result, stepping.time, self.source)
-                if follow_up is not None:
-                    self._seq += 1
-                    hint = self._serials[id(stepping)] if self.traffic.sticky else None
-                    heapq.heappush(
-                        self._pending,
-                        (stepping.time, self._seq, hint, follow_up, False),
-                    )
-            if self._draining:
-                self._retire_drained(stepping.time)
-        # Follow-ups drawn by completions right at the window edge can
-        # still be pending (their arrival lies beyond a lagging pod's
-        # clock when the loop exits). Dispatch them so every request
-        # drawn from the source is accounted as an arrival, exactly as
-        # the single-pod driver submits boundary-crossing resubmissions.
-        # They bypass admission control: shedding at the boundary would
-        # break arrival accounting parity with the single-pod driver.
+    def inject_due(self, cutoff: float) -> None:
+        """Materialize every arrival due at this fleet's busy frontier."""
+        self._inject_due(cutoff)
+
+    def frontier_pod(self) -> "ContinuousBatchingEngine | None":
+        """The busy pod with the smallest clock — the next one to step.
+
+        None when the fleet is idle. Autoscale decisions never change
+        which pod is busiest (activated pods start idle, draining pods
+        stay in service), so the frontier found before processing due
+        decisions is still the pod to hand to :meth:`step_pod` after.
+        """
+        busy = [pod for pod in self._in_service() if pod.has_work()]
+        if not busy:
+            return None
+        return min(busy, key=lambda pod: pod.time)
+
+    @property
+    def next_decision(self) -> float:
+        """Virtual time of the next autoscale decision (inf when none)."""
+        return self._next_decision
+
+    def autoscale_tick(self) -> None:
+        """Run the decision due at ``next_decision`` and schedule the next."""
+        self._autoscale_tick(self._next_decision)
+        self._next_decision += self.autoscaler.config.decision_interval_s
+
+    def step_pod(self, stepping: "ContinuousBatchingEngine") -> None:
+        """Step the frontier pod once; handle its completions."""
+        if not self._warmed_up and stepping.time >= self._warmup_s:
+            # Reset every engine ever provisioned, not just the ones
+            # still in service: a pod retired before the warmup
+            # boundary must not leak its warmup samples into the
+            # merged result either.
+            for pod in self._all_pods:
+                pod.reset_metrics()
+            self._warmed_up = True
+        finished = stepping.step()
+        self._completions += len(finished)
+        for result in finished:
+            follow_up = self.traffic.on_complete(result, stepping.time, self.source)
+            if follow_up is not None:
+                self._seq += 1
+                hint = self._serials[id(stepping)] if self.traffic.sticky else None
+                heapq.heappush(
+                    self._pending,
+                    (stepping.time, self._seq, hint, follow_up, False),
+                )
+        if self._draining:
+            self._retire_drained(stepping.time)
+
+    def drain_pending(self) -> None:
+        """Flush boundary-crossing resubmissions after the loop exits.
+
+        Follow-ups drawn by completions right at the window edge can
+        still be pending (their arrival lies beyond a lagging pod's
+        clock when the loop exits). Dispatch them so every request
+        drawn from the source is accounted as an arrival, exactly as
+        the single-pod driver submits boundary-crossing resubmissions.
+        They bypass admission control: shedding at the boundary would
+        break arrival accounting parity with the single-pod driver.
+        """
         while self._pending:
             t, _, hint, request, counted = heapq.heappop(self._pending)
             self._dispatch(request, t, pod_hint=hint, force=True, counted=counted)
-        if not assemble_result:
-            return None
+
+    def collect(
+        self, duration_s: float, warmup_s: float = 0.0, keep_samples: bool = True
+    ) -> FleetResult:
+        """Assemble the :class:`FleetResult` after an externally driven run."""
         return self._result(duration_s, warmup_s, keep_samples)
 
     def _in_service(self) -> list["ContinuousBatchingEngine"]:
@@ -514,6 +607,7 @@ class FleetSimulator:
     def _retire_drained(self, now: float) -> None:
         """Retire draining pods that have finished their residual work."""
         still = []
+        retired = 0
         for pod in self._draining:
             if pod.has_work():
                 still.append(pod)
@@ -523,7 +617,10 @@ class FleetSimulator:
                 # frontier, then refund the idle tail.
                 self._bill(now)
                 self._pod_seconds -= max(0.0, now - pod.time)
+                retired += 1
         self._draining = still
+        if retired and self._release is not None:
+            self._release(retired, now)
 
     def _autoscale_tick(self, t: float) -> None:
         """One decision boundary: observe, decide, resize."""
@@ -535,9 +632,20 @@ class FleetSimulator:
         if desired == current:
             return
         self._bill(t)
+        requested: int | None = None
+        constraint = ""
+        to_pods = desired
         if desired > current:
+            want = desired - current
+            granted = want
+            if self._acquire is not None:
+                granted = self._acquire(want, t)
+                if granted < want:
+                    requested = desired
+                    constraint = "denied" if granted == 0 else "clipped"
+                    to_pods = current + granted
             cold = self.autoscaler.config.cold_start_s
-            for _ in range(desired - current):
+            for _ in range(granted):
                 serial = len(self._all_pods)
                 pod = self.pod_factory(serial)
                 if pod.time > 0 or pod.has_work():
@@ -549,11 +657,16 @@ class FleetSimulator:
         else:
             delta = current - desired
             # Cancel pods still cold-starting first (newest first)...
+            cancelled = 0
             while delta and self._starting:
                 self._starting.pop()
+                cancelled += 1
                 delta -= 1
+            if cancelled and self._release is not None:
+                self._release(cancelled, t)
             # ...then drain serving pods, lightest committed load first,
             # newest first on ties; never drain the last routable pod.
+            # (Draining pods keep their GPUs until they retire.)
             while delta and len(self.pods) > 1:
                 victim = min(
                     self.pods,
@@ -570,8 +683,10 @@ class FleetSimulator:
             ScaleEvent(
                 time_s=t,
                 from_pods=current,
-                to_pods=desired,
+                to_pods=to_pods,
                 reason=self.autoscaler.policy.name,
+                requested=requested,
+                constraint=constraint,
             )
         )
 

@@ -1,0 +1,318 @@
+"""Tests for the multi-tenant shared-clock cluster co-simulation."""
+
+import pytest
+
+from repro.cluster import Deployment, Placement, ScheduleResult
+from repro.hardware import aws_like_pricing, parse_profile
+from repro.inference import ContinuousBatchingEngine
+from repro.models import get_llm
+from repro.simulation import (
+    Autoscaler,
+    AutoscaleConfig,
+    ClusterInventory,
+    ClusterSimulator,
+    FleetSimulator,
+    LeastLoadedRouter,
+    PoissonTraffic,
+    RequestSource,
+    ScaleEvent,
+    TenantGroup,
+    ThresholdPolicy,
+)
+from repro.utils.rng import derive_rng, spawn_seed
+
+LLM = get_llm("Llama-2-13b")
+PROFILE = parse_profile("1xA100-80GB")
+WEIGHT = 20_000
+
+
+def _factory(seed):
+    def make(serial):
+        return ContinuousBatchingEngine(
+            LLM, PROFILE, max_batch_weight=WEIGHT, seed=spawn_seed(seed, "pod", serial)
+        )
+
+    return make
+
+
+def _scaler(max_pods=4, interval=10.0):
+    return Autoscaler(
+        ThresholdPolicy(slo_p95_ttft_s=1.0),
+        AutoscaleConfig(
+            decision_interval_s=interval,
+            max_pods=max_pods,
+            cold_start_s=5.0,
+            metrics_window_s=20.0,
+        ),
+    )
+
+
+def _fleet(generator, name, rate, seed, autoscaler=None, n_pods=1):
+    factory = _factory(seed)
+    source = RequestSource(generator, derive_rng(seed, "cluster-test", name), WEIGHT)
+    return FleetSimulator(
+        [factory(i) for i in range(n_pods)],
+        PoissonTraffic(rate, rng=derive_rng(seed, "cluster-traffic", name)),
+        LeastLoadedRouter(),
+        source,
+        autoscaler=autoscaler,
+        pod_factory=factory,
+    )
+
+
+def _contended_cluster(generator, capacity=3, duration=90.0):
+    """Two tenants whose combined asks exceed a small inventory."""
+    tenants = [
+        TenantGroup(
+            "quiet",
+            _fleet(generator, "quiet", 1.0, 1, autoscaler=_scaler(max_pods=3)),
+            PROFILE.name,
+            slo_p95_ttft_s=5.0,
+        ),
+        TenantGroup(
+            "noisy",
+            _fleet(generator, "noisy", 8.0, 2, autoscaler=_scaler(max_pods=6)),
+            PROFILE.name,
+        ),
+    ]
+    inventory = ClusterInventory(capacity={PROFILE.gpu.name: capacity})
+    sim = ClusterSimulator(tenants, inventory)
+    return sim, sim.run(duration_s=duration)
+
+
+class TestInventoryLedger:
+    def test_attributed_allocations_are_logged(self):
+        inv = ClusterInventory(capacity={"A100-40GB": 8})
+        inv.allocate("2xA100-40GB", 2, tenant="a", time_s=5.0, reason="scale-up")
+        inv.release("2xA100-40GB", 1, tenant="a", time_s=9.0, reason="scale-down")
+        assert [(e.delta, e.reason) for e in inv.events] == [
+            (4, "scale-up"),
+            (-2, "scale-down"),
+        ]
+        assert inv.events[0].gpu == "A100-40GB"
+        assert inv.events[1].time_s == 9.0
+
+    def test_anonymous_allocations_are_not_logged(self):
+        # The packing search churns allocate/release; only clock-aware,
+        # tenant-attributed calls belong in the event log.
+        inv = ClusterInventory(capacity={"T4-16GB": 4})
+        inv.allocate("1xT4-16GB", 2)
+        inv.release("1xT4-16GB", 2)
+        assert inv.events == []
+
+    def test_fillable_pods(self):
+        inv = ClusterInventory(capacity={"A100-40GB": 7})
+        assert inv.fillable_pods("2xA100-40GB") == 3
+        inv.allocate("2xA100-40GB", 3)
+        assert inv.fillable_pods("2xA100-40GB") == 0
+        assert inv.fillable_pods("1xA100-40GB") == 1
+
+
+class TestScaleEventConstraints:
+    def test_denied_event_direction_uses_the_ask(self):
+        denied = ScaleEvent(10.0, 2, 2, "threshold", requested=4, constraint="denied")
+        assert denied.direction == "up"
+        assert denied.denied and not denied.clipped
+        clipped = ScaleEvent(10.0, 2, 3, "threshold", requested=4, constraint="clipped")
+        assert clipped.clipped and not clipped.denied
+
+    def test_unconstrained_event_unchanged(self):
+        up = ScaleEvent(10.0, 2, 3, "threshold")
+        assert up.direction == "up" and not up.denied and not up.clipped
+
+
+class TestSingleTenantEquivalence:
+    def test_one_tenant_cluster_matches_standalone_fleet(self, generator):
+        """A 1-tenant cluster with ample inventory IS FleetSimulator.run."""
+        standalone = _fleet(
+            generator, "solo", 6.0, 3, autoscaler=_scaler()
+        ).run(duration_s=60.0, keep_samples=False)
+        clustered_fleet = _fleet(generator, "solo", 6.0, 3, autoscaler=_scaler())
+        sim = ClusterSimulator(
+            [TenantGroup("solo", clustered_fleet, PROFILE.name)],
+            ClusterInventory(capacity={PROFILE.gpu.name: 64}),
+        )
+        res = sim.run(duration_s=60.0)
+        clustered = res.results["solo"]
+        assert clustered.arrivals == standalone.arrivals
+        assert clustered.tokens_generated == standalone.tokens_generated
+        assert clustered.requests_completed == standalone.requests_completed
+        assert clustered.ttft.median_s == standalone.ttft.median_s
+        assert clustered.ttft.p95_s == standalone.ttft.p95_s
+        assert clustered.itl.median_s == standalone.itl.median_s
+        assert clustered.pod_seconds == standalone.pod_seconds
+        assert clustered.scale_events == standalone.scale_events
+        res.verify_conservation()
+
+
+class TestContention:
+    @pytest.fixture(scope="class")
+    def contended(self, generator):
+        return _contended_cluster(generator)
+
+    def test_denied_or_clipped_events_appear(self, contended):
+        _, res = contended
+        constrained = res.contended_scale_events()
+        assert constrained, "expected at least one denied/clipped scale-up"
+        for tenant, event in constrained:
+            assert tenant in res.tenants
+            assert event.constraint in ("denied", "clipped")
+            assert event.requested is not None
+            assert event.requested > event.to_pods
+            assert event.direction == "up"
+
+    def test_conservation_under_contention(self, contended):
+        _, res = contended
+        res.verify_conservation()
+
+    def test_occupancy_never_exceeds_capacity(self, contended):
+        _, res = contended
+        gpu = PROFILE.gpu.name
+        times, used = res.occupancy_series(gpu)
+        assert used.max() <= res.capacity[gpu]
+        assert used.min() >= 0
+        assert res.peak_occupancy()[gpu] == used.max()
+
+    def test_contention_saturates_inventory(self, contended):
+        _, res = contended
+        gpu = PROFILE.gpu.name
+        assert res.peak_occupancy()[gpu] == res.capacity[gpu]
+
+    def test_cost_attribution(self, contended):
+        _, res = contended
+        pricing = aws_like_pricing()
+        cost = res.cost(pricing)
+        rate = pricing.pod_cost(PROFILE)
+        for tenant in res.tenants:
+            expected = res.results[tenant].pod_seconds / 3600.0 * rate
+            assert cost[tenant] == pytest.approx(expected)
+        assert res.total_cost(pricing) == pytest.approx(sum(cost.values()))
+
+    def test_slo_reporting(self, contended):
+        _, res = contended
+        assert res.meets_slo("noisy") is None  # no SLO declared
+        assert res.meets_slo("quiet") == (
+            res.results["quiet"].ttft.p95_s <= 5.0
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_invariants_sweep_seeds(self, generator, seed):
+        """Conservation + ledger sanity hold across contention patterns."""
+        tenants = [
+            TenantGroup(
+                "a",
+                _fleet(generator, "a", 4.0, seed, autoscaler=_scaler(max_pods=4)),
+                PROFILE.name,
+            ),
+            TenantGroup(
+                "b",
+                _fleet(
+                    generator, "b", 4.0, seed + 100, autoscaler=_scaler(max_pods=4)
+                ),
+                PROFILE.name,
+            ),
+        ]
+        sim = ClusterSimulator(
+            tenants, ClusterInventory(capacity={PROFILE.gpu.name: 3})
+        )
+        res = sim.run(duration_s=60.0)
+        res.verify_conservation()
+        _, used = res.occupancy_series(PROFILE.gpu.name)
+        assert used.max() <= 3
+
+    def test_deterministic(self, generator, contended):
+        sim_a, res_a = contended
+        _, res_b = _contended_cluster(generator)
+        for tenant in res_a.tenants:
+            assert (
+                res_a.results[tenant].scale_events
+                == res_b.results[tenant].scale_events
+            )
+            assert res_a.results[tenant].arrivals == res_b.results[tenant].arrivals
+        assert res_a.events == res_b.events
+
+
+class TestValidation:
+    def test_duplicate_tenant_names_rejected(self, generator):
+        groups = [
+            TenantGroup("x", _fleet(generator, "x", 1.0, 0), PROFILE.name),
+            TenantGroup("x", _fleet(generator, "x2", 1.0, 1), PROFILE.name),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            ClusterSimulator(groups, ClusterInventory(capacity={"A100-80GB": 8}))
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            ClusterSimulator([], ClusterInventory(capacity={}))
+
+    def test_initial_allocation_must_fit(self, generator):
+        group = TenantGroup(
+            "big", _fleet(generator, "big", 1.0, 0, n_pods=3), PROFILE.name
+        )
+        sim = ClusterSimulator(
+            [group], ClusterInventory(capacity={PROFILE.gpu.name: 2})
+        )
+        with pytest.raises(ValueError, match="initial allocation"):
+            sim.run(duration_s=10.0)
+
+    def test_tenant_group_validates_profile(self, generator):
+        with pytest.raises(ValueError):
+            TenantGroup("x", _fleet(generator, "x", 1.0, 0), "nonsense")
+        with pytest.raises(ValueError, match="non-empty"):
+            TenantGroup("", _fleet(generator, "y", 1.0, 0), PROFILE.name)
+
+
+class TestScheduleBridge:
+    def test_to_cluster_sim_uses_placements(self, generator):
+        schedule = ScheduleResult(
+            placements=[
+                Placement("chat", PROFILE.name, 2, 10.24),
+                Placement("code", PROFILE.name, 1, 5.12),
+            ],
+            unplaced=["stranded"],
+        )
+        deployments = {
+            name: Deployment(
+                llm=LLM,
+                profile=PROFILE,
+                n_pods=1,
+                max_batch_weight=WEIGHT,
+                generator=generator,
+                seed=7,
+            )
+            for name in ("chat", "code")
+        }
+        traffics = {
+            name: PoissonTraffic(1.0, rng=derive_rng(7, "bridge", name))
+            for name in ("chat", "code")
+        }
+        sim = schedule.to_cluster_sim(
+            deployments,
+            traffics,
+            capacity={PROFILE.gpu.name: 8},
+            slos={"chat": 2.0},
+        )
+        assert [g.name for g in sim.tenants] == ["chat", "code"]
+        assert len(sim.tenants[0].fleet.pods) == 2
+        assert len(sim.tenants[1].fleet.pods) == 1
+        assert sim.tenants[0].slo_p95_ttft_s == 2.0
+        assert sim.tenants[1].slo_p95_ttft_s is None
+        res = sim.run(duration_s=15.0)
+        res.verify_conservation()
+        assert set(res.results) == {"chat", "code"}
+
+    def test_reconfigure_retunes_weight_on_new_profile(self, generator):
+        dep = Deployment(
+            llm=LLM,
+            profile=PROFILE,
+            n_pods=1,
+            max_batch_weight=WEIGHT,
+            generator=generator,
+            seed=0,
+        )
+        same = dep.reconfigure(n_pods=3)
+        assert same.max_batch_weight == WEIGHT
+        assert same.n_pods == 3
+        moved = dep.reconfigure(profile=parse_profile("1xA100-40GB"))
+        assert moved.max_batch_weight != WEIGHT
+        assert moved.profile.name == "1xA100-40GB"
