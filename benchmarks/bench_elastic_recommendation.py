@@ -1,0 +1,218 @@
+"""Elastic recommendation vs the paper's peak-sized static answer.
+
+Beyond the paper's protocol: Eq. (2) sizes a deployment once, for the
+peak. The elastic recommender instead sweeps (policy, min_pods,
+max_pods) candidates through the fleet simulator under the same diurnal
+traffic and scores each with the cost objective (pod-second bill + SLO
+penalty). At full scale the chosen adaptive config must beat the
+peak-sized static fleet on cost at equal-or-better p95 SLO attainment —
+the whole point of exploiting elasticity.
+
+The second experiment closes the cluster loop: on the noisy-neighbor
+contention scenario the feedback scheduler re-schedules/right-sizes the
+tenants whose scale-ups the inventory keeps rejecting, and the
+denied/clipped event rate must fall across iterations until the
+co-simulation runs clean.
+"""
+
+from benchmarks.conftest import BENCH_SEED, fidelity_assert, smoke, write_report
+from repro.cluster import Deployment, FeedbackScheduler, TenantRequest
+from repro.hardware import aws_like_pricing, parse_profile
+from repro.models import get_llm
+from repro.recommendation import CostObjective, ElasticRecommender, LinearSLOPenalty
+from repro.recommendation.recommender import ProfileAssessment
+from repro.simulation import (
+    Autoscaler,
+    AutoscaleConfig,
+    BurstyTraffic,
+    DiurnalTraffic,
+    ThresholdPolicy,
+)
+from repro.utils.rng import derive_rng
+from repro.utils.tables import format_table
+
+LLM = "Llama-2-13b"
+PROFILE = "1xA100-80GB"
+MAX_BATCH_WEIGHT = 20_000
+PEAK_PODS = 4  # the paper-style static answer, sized for the diurnal crest
+DURATION_S = smoke(480.0, 120.0)
+PERIOD_S = smoke(240.0, 120.0)
+BASE_RATE = 3.0
+AMPLITUDE = 0.8
+SLO_P95_TTFT_S = 15.0  # end-to-end target incl. scale-up transients
+PENALTY_PER_HOUR = 200.0
+
+FEEDBACK_DURATION_S = smoke(300.0, 60.0)
+FEEDBACK_CAPACITY = 4
+
+
+def _deployment(generator):
+    return Deployment(
+        llm=get_llm(LLM),
+        profile=parse_profile(PROFILE),
+        n_pods=1,
+        max_batch_weight=MAX_BATCH_WEIGHT,
+        generator=generator,
+        seed=BENCH_SEED,
+    )
+
+
+def test_elastic_beats_peak_static(benchmark, generator, results_dir):
+    objective = CostObjective(
+        pricing=aws_like_pricing(),
+        penalty=LinearSLOPenalty(
+            slo_p95_ttft_s=SLO_P95_TTFT_S, penalty_per_hour=PENALTY_PER_HOUR
+        ),
+    )
+    recommender = ElasticRecommender(
+        _deployment(generator),
+        lambda: DiurnalTraffic(
+            BASE_RATE,
+            rng=derive_rng(BENCH_SEED, "bench-elastic"),
+            amplitude=AMPLITUDE,
+            period_s=PERIOD_S,
+        ),
+        objective,
+        slo_p95_ttft_s=SLO_P95_TTFT_S,
+        duration_s=DURATION_S,
+        metrics_window_s=20.0,
+        stream_label="elastic-bench",
+    )
+
+    def run():
+        return recommender.recommend(static_pods=PEAK_PODS)
+
+    rec = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [p.label, p.pod_hours, p.compute_cost, p.slo_penalty, p.total_cost,
+         p.p95_ttft_s, "yes" if p.meets_slo else "NO", p.scale_events]
+        for p in rec.curve
+    ]
+    report = format_table(
+        ["config", "pod-h", "compute $", "penalty $", "total $",
+         "ttft p95", "slo", "events"],
+        rows,
+        floatfmt=".3f",
+        title=(
+            f"Elastic sweep for {LLM} on {PROFILE} ({DURATION_S:.0f}s diurnal, "
+            f"SLO p95 TTFT <= {SLO_P95_TTFT_S:.0f}s, static peak "
+            f"{PEAK_PODS} pods):\nchosen {rec.chosen.label}, saves "
+            f"${rec.savings:.3f} ({rec.savings_fraction:.0%}) vs static"
+        ),
+    )
+    write_report(results_dir, "elastic_recommendation.txt", report)
+
+    # Structural invariants, any scale: the baseline is on the curve and
+    # every candidate conserved its requests (checked inside evaluate()).
+    assert rec.static in rec.curve
+    assert rec.chosen in rec.curve
+    assert all(p.pod_hours >= 0 for p in rec.curve)
+    # The paper-shape claim: the chosen elastic config is adaptive, holds
+    # the SLO like the peak-sized static fleet does, and bills fewer
+    # dollars — strictly positive savings at equal-or-better attainment.
+    fidelity_assert(rec.static.meets_slo, rec.static.p95_ttft_s)
+    fidelity_assert(rec.chosen.meets_slo, rec.chosen.p95_ttft_s)
+    fidelity_assert(rec.chosen.policy != "static", rec.chosen.label)
+    fidelity_assert(
+        rec.chosen.compute_cost < rec.static.compute_cost,
+        (rec.chosen.compute_cost, rec.static.compute_cost),
+    )
+    fidelity_assert(rec.savings > 0, rec.savings)
+
+
+def _feedback_inputs(generator):
+    profile = parse_profile(PROFILE)
+    pod_cost = aws_like_pricing().pod_cost(profile)
+
+    def option(n_pods):
+        return ProfileAssessment(
+            profile=profile.name, umax=10, n_pods=n_pods,
+            pod_cost=pod_cost, total_cost=pod_cost * n_pods,
+        )
+
+    def scaler(max_pods):
+        return Autoscaler(
+            ThresholdPolicy(slo_p95_ttft_s=2.0),
+            AutoscaleConfig(
+                decision_interval_s=10.0, max_pods=max_pods,
+                cold_start_s=5.0, metrics_window_s=20.0,
+            ),
+        )
+
+    requests = [
+        TenantRequest("quiet", (option(1),)),
+        TenantRequest("noisy", (option(1),)),
+    ]
+    deployments = {name: _deployment(generator) for name in ("quiet", "noisy")}
+    factories = {
+        "quiet": lambda: DiurnalTraffic(
+            2.0,
+            rng=derive_rng(BENCH_SEED, "bench-feedback", "quiet"),
+            amplitude=0.8,
+            period_s=smoke(240.0, 60.0),
+        ),
+        "noisy": lambda: BurstyTraffic(
+            8.0,
+            rng=derive_rng(BENCH_SEED, "bench-feedback", "noisy"),
+            mean_on_s=30.0,
+            mean_off_s=30.0,
+        ),
+    }
+    autoscalers = {"quiet": scaler(3), "noisy": scaler(6)}
+    return requests, deployments, factories, autoscalers
+
+
+def test_feedback_scheduler_reduces_contention(benchmark, generator, results_dir):
+    requests, deployments, factories, autoscalers = _feedback_inputs(generator)
+    scheduler = FeedbackScheduler(
+        capacity={parse_profile(PROFILE).gpu.name: FEEDBACK_CAPACITY},
+        duration_s=FEEDBACK_DURATION_S,
+        max_iterations=4,
+    )
+
+    def run():
+        return scheduler.run(
+            requests, deployments, factories, autoscalers=autoscalers
+        )
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for i, it in enumerate(outcome.iterations):
+        for p in it.placements:
+            rows.append(
+                [
+                    i,
+                    p.tenant,
+                    p.n_pods,
+                    it.contended[p.tenant],
+                    it.result.results[p.tenant].ttft.p95_s,
+                    it.adjustments.get(p.tenant, "-"),
+                ]
+            )
+    report = format_table(
+        ["iter", "tenant", "pods", "denied/clipped", "ttft p95", "adjustment"],
+        rows,
+        floatfmt=".2f",
+        title=(
+            f"Feedback scheduling on {FEEDBACK_CAPACITY}x "
+            f"{parse_profile(PROFILE).gpu.name} ({FEEDBACK_DURATION_S:.0f}s "
+            f"per iteration; contended rate/min {outcome.contended_rates()}, "
+            f"converged={outcome.converged}):"
+        ),
+    )
+    write_report(results_dir, "feedback_scheduling.txt", report)
+
+    rates = outcome.contended_rates()
+    # Hard invariants at any scale: conservation checked inside run();
+    # rates are non-negative and the trajectory never grows.
+    assert all(r >= 0 for r in rates)
+    assert all(b <= a for a, b in zip(rates, rates[1:]))
+    if outcome.converged:
+        assert outcome.contended_totals()[-1] == 0
+    # Paper-shape claims: the first packing actually contends, and the
+    # feedback loop strictly reduces the denied/clipped rate.
+    fidelity_assert(rates[0] > 0, rates)
+    fidelity_assert(len(rates) > 1 and rates[-1] < rates[0], rates)
+    fidelity_assert(outcome.converged, rates)

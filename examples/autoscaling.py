@@ -12,9 +12,13 @@ compares four ways of running it:
    past the pod cold-start delay,
 
 printing each policy's scale-event timeline and the pod-seconds it
-billed. A final run adds SLO-aware admission control to an
+billed. A further run adds SLO-aware admission control to an
 *under*-provisioned fleet to show load shedding holding the tail latency
-at the cost of rejected work.
+at the cost of rejected work. The final phase hands the same deployment
+to the elastic recommender, which prices every configuration (pod-second
+bill + SLO penalty) and picks the cheapest one that holds the SLO —
+reporting the full pod-hours-vs-SLO trade curve and the savings against
+the peak-sized static fleet.
 
 Run:  python examples/autoscaling.py
 """
@@ -23,8 +27,13 @@ import time
 
 from repro import quickstart_generator
 from repro.cluster import Deployment
-from repro.hardware import parse_profile
+from repro.hardware import aws_like_pricing, parse_profile
 from repro.models import get_llm
+from repro.recommendation import (
+    CostObjective,
+    ElasticRecommender,
+    LinearSLOPenalty,
+)
 from repro.simulation import (
     AdmissionController,
     Autoscaler,
@@ -147,6 +156,49 @@ def main() -> None:
         f"\n== admission control on 2 static pods: "
         f"{shedding.shed}/{shedding.arrivals} arrivals shed, "
         f"served p95 TTFT {shedding.ttft.p95_s:.2f}s"
+    )
+
+    # Phase: elastic recommendation. Instead of eyeballing the summary
+    # table above, price every configuration (pod-second bill + SLO
+    # penalty on the run's p95 TTFT) and let the recommender pick the
+    # cheapest one that holds the SLO — including the static ladder, so
+    # "stay static" wins whenever elasticity does not pay.
+    slo_s = 20.0
+    objective = CostObjective(
+        pricing=aws_like_pricing(),
+        penalty=LinearSLOPenalty(slo_p95_ttft_s=slo_s, penalty_per_hour=200.0),
+    )
+    recommender = ElasticRecommender(
+        deployment(1),
+        lambda: make_traffic("elastic"),
+        objective,
+        slo_p95_ttft_s=slo_s,
+        duration_s=DURATION_S,
+        metrics_window_s=20.0,
+        stream_label="autoscale",
+    )
+    rec = recommender.recommend(static_pods=PEAK_PODS)
+    rows = [
+        [p.label, p.pod_hours, p.compute_cost, p.slo_penalty, p.total_cost,
+         p.p95_ttft_s, "yes" if p.meets_slo else "NO"]
+        for p in rec.curve
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["config", "pod-h", "compute $", "penalty $", "total $",
+             "ttft p95", "slo"],
+            rows,
+            floatfmt=".3f",
+            title=(
+                f"Elastic recommendation (p95 TTFT SLO {slo_s:.0f}s, "
+                f"{DURATION_S:.0f}s window):"
+            ),
+        )
+    )
+    print(
+        f"== recommended: {rec.chosen.label} — saves ${rec.savings:.3f} "
+        f"({rec.savings_fraction:.0%}) vs the peak-sized static fleet"
     )
 
     print(f"\n[{time.time() - t0:.1f}s wall]")

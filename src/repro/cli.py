@@ -19,12 +19,17 @@ Subcommands mirror the two roles the paper defines (§I):
   - ``cluster-sim``   multi-tenant co-simulation: N tenants, each with
     its own traffic, router/admission and autoscaler, contending for one
     finite GPU inventory on one shared virtual clock — reports per-tenant
-    outcomes, denied/clipped scale-ups and per-GPU-type occupancy.
+    outcomes, denied/clipped scale-ups and per-GPU-type occupancy;
+  - ``recommend-elastic``  autoscaler-in-the-loop sizing: sweep
+    (policy, min_pods, max_pods) candidates under a traffic model, score
+    each by pod-second bill + SLO penalty, and report the trade curve,
+    the chosen config and its savings vs the peak-sized static fleet.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -37,9 +42,13 @@ from repro.characterization import (
 from repro.hardware import aws_like_pricing, default_profiles, list_gpus, parse_profile
 from repro.models import LLM_CATALOG, get_llm, list_llms
 from repro.recommendation import (
+    CostObjective,
+    ElasticRecommender,
     GPURecommendationTool,
     LatencyConstraints,
+    LinearSLOPenalty,
     PerfModelHyperparams,
+    StepSLOPenalty,
 )
 from repro.cluster import Deployment
 from repro.recommendation.pilot import LLMPilotRecommender
@@ -210,15 +219,87 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--traces", help=".npz trace collection (else synthesized)")
     p_cluster.add_argument("--requests", type=int, default=50_000)
     p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+
+    p_elastic = sub.add_parser(
+        "recommend-elastic",
+        help="autoscaler-in-the-loop (policy, min_pods, max_pods) recommendation",
+    )
+    _add_fleet_args(p_elastic, pods=False)
+    p_elastic.add_argument(
+        "--slo-ttft-ms",
+        type=float,
+        default=10_000.0,
+        help="end-to-end p95 TTFT SLO for the whole run, ms",
+    )
+    p_elastic.add_argument(
+        "--penalty",
+        choices=["linear", "step"],
+        default="linear",
+        help="SLO-penalty shape on the run's p95 TTFT",
+    )
+    p_elastic.add_argument(
+        "--penalty-per-hour",
+        type=float,
+        default=50.0,
+        help="$/h charged by the SLO penalty when breached",
+    )
+    p_elastic.add_argument(
+        "--penalty-per-shed",
+        type=float,
+        default=0.0,
+        help="$ charged per request rejected by admission control",
+    )
+    p_elastic.add_argument(
+        "--static-pods",
+        type=int,
+        default=0,
+        help="peak-sized static baseline (0: find it by simulation)",
+    )
+    p_elastic.add_argument(
+        "--search-max",
+        type=int,
+        default=8,
+        help="largest static fleet the sizing ladder tries",
+    )
+    p_elastic.add_argument(
+        "--headroom",
+        type=int,
+        default=2,
+        help="candidate max_pods above the static baseline",
+    )
+    p_elastic.add_argument(
+        "--interval", type=float, default=15.0, help="decision interval s"
+    )
+    p_elastic.add_argument(
+        "--cold-start", type=float, default=10.0, help="pod cold-start delay s"
+    )
+    p_elastic.add_argument(
+        "--metrics-window",
+        type=float,
+        default=30.0,
+        help="trailing window for windowed tails and arrival rates, s",
+    )
+    p_elastic.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
 
     return parser
 
 
-def _add_fleet_args(p: argparse.ArgumentParser) -> None:
-    """Flags shared by the ``simulate`` and ``autoscale`` subcommands."""
+def _add_fleet_args(p: argparse.ArgumentParser, pods: bool = True) -> None:
+    """Flags shared by the fleet-simulation subcommands.
+
+    ``recommend-elastic`` opts out of ``--pods``: the sweep itself owns
+    the pod count per candidate (``--static-pods`` pins the baseline),
+    so accepting the flag would silently ignore it.
+    """
     p.add_argument("--llm", default="Llama-2-13b")
     p.add_argument("--profile", default="1xA100-40GB")
-    p.add_argument("--pods", type=int, default=2)
+    if pods:
+        p.add_argument("--pods", type=int, default=2)
     p.add_argument("--max-batch-weight", type=int, default=12_000)
     p.add_argument("--router", choices=sorted(ROUTERS), default="least-loaded")
     p.add_argument(
@@ -618,6 +699,9 @@ def _cmd_cluster_sim(args) -> int:
     res.verify_conservation()
     pricing = aws_like_pricing()
     cost = res.cost(pricing)
+    if args.json:
+        print(json.dumps(_cluster_sim_json(res, cost), indent=2))
+        return 0
     rows = []
     for tenant in res.tenants:
         r = res.results[tenant]
@@ -684,6 +768,142 @@ def _cmd_cluster_sim(args) -> int:
     return 0
 
 
+def _json_float(value: float) -> float | None:
+    """NaN -> None: bare NaN is not valid JSON for strict parsers."""
+    return None if np.isnan(value) else float(value)
+
+
+def _cluster_sim_json(res, cost) -> dict:
+    """JSON view of a cluster co-simulation (stable schema for tooling)."""
+    return {
+        "duration_s": res.duration_s,
+        "capacity": dict(res.capacity),
+        "total_cost": sum(cost.values()),
+        "peak_occupancy": res.peak_occupancy(),
+        "tenants": [
+            {
+                "name": tenant,
+                "profile": res.profiles[tenant],
+                "pods_end": res.results[tenant].n_pods,
+                "arrivals": res.results[tenant].arrivals,
+                "shed": res.results[tenant].shed,
+                "requests_completed": res.results[tenant].requests_completed,
+                "throughput_tokens_per_s": res.results[tenant].throughput_tokens_per_s,
+                "ttft_p95_s": _json_float(res.results[tenant].ttft.p95_s),
+                "meets_slo": res.meets_slo(tenant),
+                "pod_seconds": res.results[tenant].pod_seconds,
+                "cost": cost[tenant],
+            }
+            for tenant in res.tenants
+        ],
+        "contended_scale_events": [
+            {
+                "time_s": event.time_s,
+                "tenant": tenant,
+                "constraint": event.constraint,
+                "from_pods": event.from_pods,
+                "requested": event.requested,
+                "to_pods": event.to_pods,
+            }
+            for tenant, event in res.contended_scale_events()
+        ],
+    }
+
+
+def _cmd_recommend_elastic(args) -> int:
+    traces = _load_or_make_traces(args)
+    generator = WorkloadGenerator.fit(traces)
+    slo_s = args.slo_ttft_ms / 1e3
+    try:
+        llm = get_llm(args.llm)
+        profile = parse_profile(args.profile)
+        deployment = Deployment(
+            llm=llm,
+            profile=profile,
+            n_pods=1,
+            max_batch_weight=args.max_batch_weight,
+            generator=generator,
+            seed=args.seed,
+        )
+        penalty_cls = LinearSLOPenalty if args.penalty == "linear" else StepSLOPenalty
+        objective = CostObjective(
+            pricing=aws_like_pricing(),
+            penalty=penalty_cls(
+                slo_p95_ttft_s=slo_s,
+                penalty_per_hour=args.penalty_per_hour,
+                penalty_per_shed=args.penalty_per_shed,
+            ),
+        )
+        recommender = ElasticRecommender(
+            deployment,
+            # A fresh, identically seeded traffic model per candidate:
+            # the sweep is a controlled experiment over one arrival log.
+            lambda: _build_traffic(
+                args.traffic,
+                args.users if args.traffic == "closed" else args.rate,
+                derive_rng(args.seed, "elastic-traffic", args.traffic),
+                args,
+            ),
+            objective,
+            slo_p95_ttft_s=slo_s,
+            duration_s=args.duration,
+            warmup_s=args.warmup,
+            decision_interval_s=args.interval,
+            cold_start_s=args.cold_start,
+            metrics_window_s=args.metrics_window,
+            router_factory=lambda: ROUTERS[args.router](),
+            stream_label=args.traffic,
+        )
+        rec = recommender.recommend(
+            static_pods=args.static_pods or None,
+            search_max=args.search_max,
+            headroom=args.headroom,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(rec.as_dict(), indent=2))
+        return 0 if rec.meets_slo else 1
+    rows = [
+        [
+            p.label,
+            p.pod_hours,
+            p.compute_cost,
+            p.slo_penalty,
+            p.total_cost,
+            p.p95_ttft_s,
+            "yes" if p.meets_slo else "NO",
+            p.scale_events,
+        ]
+        for p in rec.curve
+    ]
+    print(
+        format_table(
+            ["config", "pod-h", "compute $", "penalty $", "total $",
+             "ttft p95", "slo", "events"],
+            rows,
+            floatfmt=".3f",
+            title=(
+                f"Trade curve for {llm.name} on {profile.name} — "
+                f"{args.traffic} traffic, {args.duration:.0f}s window, "
+                f"p95 TTFT SLO {slo_s:.1f}s:"
+            ),
+        )
+    )
+    print(
+        f"Recommendation: {rec.chosen.label} "
+        f"(${rec.chosen.total_cost:.3f} for the window, p95 TTFT "
+        f"{rec.chosen.p95_ttft_s:.2f}s) — saves ${rec.savings:.3f} "
+        f"({rec.savings_fraction:.0%}) vs the peak-sized static fleet "
+        f"({rec.static.label}, ${rec.static.total_cost:.3f})"
+    )
+    if not rec.meets_slo:
+        print("No evaluated configuration met the SLO.")
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "traces": _cmd_traces,
     "characterize": _cmd_characterize,
@@ -692,6 +912,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "autoscale": _cmd_autoscale,
     "cluster-sim": _cmd_cluster_sim,
+    "recommend-elastic": _cmd_recommend_elastic,
 }
 
 

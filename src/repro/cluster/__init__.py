@@ -10,6 +10,9 @@ from repro.cluster.scheduler import (
     Placement,
     ScheduleResult,
     MultiTenantScheduler,
+    FeedbackIteration,
+    FeedbackOutcome,
+    FeedbackScheduler,
 )
 from repro.simulation.cluster import (
     ClusterResult,
@@ -28,6 +31,9 @@ __all__ = [
     "Placement",
     "ScheduleResult",
     "MultiTenantScheduler",
+    "FeedbackIteration",
+    "FeedbackOutcome",
+    "FeedbackScheduler",
     "ClusterResult",
     "ClusterSimulator",
     "InventoryEvent",

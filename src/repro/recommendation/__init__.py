@@ -19,8 +19,28 @@ from repro.recommendation.recommender import (
     GPURecommendationTool,
 )
 from repro.recommendation.hpo import tune_performance_model
+from repro.recommendation.elastic import (
+    CostObjective,
+    ElasticCandidate,
+    ElasticOptions,
+    ElasticRecommendation,
+    ElasticRecommender,
+    LinearSLOPenalty,
+    StepSLOPenalty,
+    TradePoint,
+    default_candidates,
+)
 
 __all__ = [
+    "CostObjective",
+    "ElasticCandidate",
+    "ElasticOptions",
+    "ElasticRecommendation",
+    "ElasticRecommender",
+    "LinearSLOPenalty",
+    "StepSLOPenalty",
+    "TradePoint",
+    "default_candidates",
     "FeatureSpace",
     "LatencyConstraints",
     "constraint_proximity_weights",

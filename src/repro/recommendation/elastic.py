@@ -1,0 +1,549 @@
+"""Elastic recommendation: cost-aware autoscaler-in-the-loop sizing.
+
+The paper's recommendation (Eqs. 1-3) answers the sizing question with a
+*fixed* pod count — under time-varying traffic that count must be sized
+for the peak, and the trough is pure waste. The simulation substrate can
+now resize fleets on a shared clock (autoscaling, cold starts, draining,
+pod-second billing), so the recommendation layer can exploit it:
+
+* a :class:`CostObjective` scores one simulated run as dollars: the
+  pod-second bill (via :class:`~repro.hardware.pricing.PricingTable`)
+  plus a configurable SLO-penalty function of the run's p95 TTFT
+  (:class:`LinearSLOPenalty` scales with the relative breach,
+  :class:`StepSLOPenalty` charges a flat rate while breached — or any
+  ``Callable[[FleetResult], float]``);
+* an :class:`ElasticRecommender` sweeps ``(policy, min_pods, max_pods)``
+  candidates through :class:`~repro.simulation.fleet.FleetSimulator`
+  under a caller-supplied traffic model — every candidate replays the
+  identical seeded arrival process and workload stream, so the sweep is
+  a controlled experiment — and scores each with the objective;
+* the :class:`ElasticRecommendation` carries the full
+  pod-hours-vs-SLO-penalty trade curve (:class:`TradePoint` per
+  candidate, including the static sizing ladder), the chosen config and
+  its savings against the peak-sized static baseline.
+
+``GPURecommendationTool.recommend(..., elastic=ElasticOptions(...))``
+closes the loop with the paper's pipeline: Eqs. (1)-(3) pick the profile
+and the peak-static pod count, then the sweep recommends
+``min_pods``/``max_pods`` and a policy on that profile instead of the
+fixed count.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.hardware.pricing import PricingTable
+from repro.simulation.autoscale import (
+    Autoscaler,
+    AutoscaleConfig,
+    AutoscalePolicy,
+    PredictivePolicy,
+    TargetUtilizationPolicy,
+    ThresholdPolicy,
+)
+from repro.simulation.fleet import FleetResult, Router
+
+if TYPE_CHECKING:
+    from repro.cluster.deployment import Deployment
+    from repro.simulation.traffic import TrafficModel
+    from repro.workload.generator import WorkloadGenerator
+
+__all__ = [
+    "SLOPenaltyFn",
+    "LinearSLOPenalty",
+    "StepSLOPenalty",
+    "CostObjective",
+    "ElasticCandidate",
+    "TradePoint",
+    "ElasticRecommendation",
+    "ElasticOptions",
+    "ElasticRecommender",
+    "default_candidates",
+]
+
+#: Maps one simulated run to an SLO-penalty charge in dollars.
+SLOPenaltyFn = Callable[[FleetResult], float]
+
+
+def _breached(result: FleetResult, slo_p95_ttft_s: float) -> bool:
+    """Did the run's p95 TTFT breach the SLO?
+
+    A NaN tail with admitted work means nothing was served at all —
+    the worst possible breach, not a free pass; a NaN tail on an idle
+    run (nothing admitted) is vacuously within SLO.
+    """
+    p95 = result.ttft.p95_s
+    if math.isnan(p95):
+        return result.admitted > 0 and result.completed_total == 0
+    return p95 > slo_p95_ttft_s
+
+
+@dataclass(frozen=True)
+class LinearSLOPenalty:
+    """Dollars per hour, scaled by the relative p95 TTFT excess.
+
+    ``penalty = rate * hours * max(0, p95/slo - 1)`` — a 2x breach of
+    the SLO for the whole window costs ``penalty_per_hour * hours``.
+    ``penalty_per_shed`` additionally charges every request the
+    admission controller rejected, so shedding cannot masquerade as a
+    latency win for free.
+    """
+
+    slo_p95_ttft_s: float
+    penalty_per_hour: float = 50.0
+    penalty_per_shed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slo_p95_ttft_s <= 0:
+            raise ValueError(
+                f"slo_p95_ttft_s must be positive, got {self.slo_p95_ttft_s}"
+            )
+        if self.penalty_per_hour < 0 or self.penalty_per_shed < 0:
+            raise ValueError("penalty rates must be >= 0")
+
+    def __call__(self, result: FleetResult) -> float:
+        hours = result.duration_s / 3600.0
+        shed_cost = self.penalty_per_shed * result.shed
+        p95 = result.ttft.p95_s
+        if math.isnan(p95):
+            if _breached(result, self.slo_p95_ttft_s):
+                # Nothing served at all: charge as a total (1x) breach.
+                return self.penalty_per_hour * hours + shed_cost
+            return shed_cost
+        excess = max(0.0, p95 / self.slo_p95_ttft_s - 1.0)
+        return self.penalty_per_hour * hours * excess + shed_cost
+
+
+@dataclass(frozen=True)
+class StepSLOPenalty:
+    """Flat dollars per hour while the p95 TTFT sits above the SLO."""
+
+    slo_p95_ttft_s: float
+    penalty_per_hour: float = 50.0
+    penalty_per_shed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slo_p95_ttft_s <= 0:
+            raise ValueError(
+                f"slo_p95_ttft_s must be positive, got {self.slo_p95_ttft_s}"
+            )
+        if self.penalty_per_hour < 0 or self.penalty_per_shed < 0:
+            raise ValueError("penalty rates must be >= 0")
+
+    def __call__(self, result: FleetResult) -> float:
+        hours = result.duration_s / 3600.0
+        penalty = (
+            self.penalty_per_hour * hours
+            if _breached(result, self.slo_p95_ttft_s)
+            else 0.0
+        )
+        return penalty + self.penalty_per_shed * result.shed
+
+
+@dataclass(frozen=True)
+class CostObjective:
+    """Scores one simulated run in dollars: compute bill + SLO penalty.
+
+    The compute bill is the run's provisioned pod-seconds priced at the
+    profile's hourly c(G) — exactly what an elastic deployment pays,
+    as opposed to Eq. (1)'s ``n * c(G)`` flat rate for a static one.
+    """
+
+    pricing: PricingTable
+    penalty: SLOPenaltyFn
+
+    def compute_cost(self, result: FleetResult, profile) -> float:
+        """Pod-second bill of the run on ``profile``, in dollars."""
+        return result.pod_hours * self.pricing.pod_cost(profile)
+
+    def slo_penalty(self, result: FleetResult) -> float:
+        return float(self.penalty(result))
+
+    def total(self, result: FleetResult, profile) -> float:
+        return self.compute_cost(result, profile) + self.slo_penalty(result)
+
+
+@dataclass(frozen=True)
+class ElasticCandidate:
+    """One configuration of the sweep: a policy between pod bounds.
+
+    ``make_policy`` mints a fresh policy per run (policies may hold
+    state); ``None`` means a static fleet of ``min_pods == max_pods``
+    pods with no autoscaler at all — the baseline rungs of the curve.
+    """
+
+    policy: str
+    min_pods: int
+    max_pods: int
+    make_policy: Callable[[], AutoscalePolicy] | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.min_pods < 1:
+            raise ValueError(f"min_pods must be >= 1, got {self.min_pods}")
+        if self.max_pods < self.min_pods:
+            raise ValueError(
+                f"max_pods {self.max_pods} must be >= min_pods {self.min_pods}"
+            )
+        if self.make_policy is None and self.min_pods != self.max_pods:
+            raise ValueError("a static candidate needs min_pods == max_pods")
+
+    @property
+    def label(self) -> str:
+        if self.make_policy is None:
+            return f"static[{self.min_pods}]"
+        return f"{self.policy}[{self.min_pods}..{self.max_pods}]"
+
+
+@dataclass
+class TradePoint:
+    """One point of the pod-hours-vs-SLO trade curve."""
+
+    policy: str
+    min_pods: int
+    max_pods: int
+    pod_hours: float
+    compute_cost: float
+    slo_penalty: float
+    total_cost: float
+    p95_ttft_s: float
+    meets_slo: bool
+    arrivals: int
+    shed: int
+    requests_completed: int
+    scale_events: int
+    denied_or_clipped: int
+    result: FleetResult | None = field(default=None, repr=False)
+
+    @property
+    def label(self) -> str:
+        if self.policy == "static":
+            return f"static[{self.min_pods}]"
+        return f"{self.policy}[{self.min_pods}..{self.max_pods}]"
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (no simulation payload).
+
+        A NaN tail (nothing served in the window) maps to ``None`` —
+        bare ``NaN`` is not valid JSON and breaks strict parsers.
+        """
+        return {
+            "policy": self.policy,
+            "min_pods": self.min_pods,
+            "max_pods": self.max_pods,
+            "pod_hours": self.pod_hours,
+            "compute_cost": self.compute_cost,
+            "slo_penalty": self.slo_penalty,
+            "total_cost": self.total_cost,
+            "p95_ttft_s": None if math.isnan(self.p95_ttft_s) else self.p95_ttft_s,
+            "meets_slo": self.meets_slo,
+            "arrivals": self.arrivals,
+            "shed": self.shed,
+            "requests_completed": self.requests_completed,
+            "scale_events": self.scale_events,
+            "denied_or_clipped": self.denied_or_clipped,
+        }
+
+
+@dataclass
+class ElasticRecommendation:
+    """The sweep's answer: a config, its curve, and savings vs static.
+
+    ``static`` is the peak-sized static baseline (Eq. 2's pod count when
+    the sweep was invoked through ``GPURecommendationTool``, otherwise
+    the smallest simulated static fleet that met the SLO); ``curve``
+    holds every evaluated candidate including the static sizing ladder.
+    """
+
+    profile: str
+    slo_p95_ttft_s: float
+    chosen: TradePoint
+    static: TradePoint
+    curve: list[TradePoint] = field(default_factory=list)
+    static_recommendation: object | None = field(default=None, repr=False)
+
+    @property
+    def savings(self) -> float:
+        """Dollars saved vs the static baseline over the simulated window."""
+        return self.static.total_cost - self.chosen.total_cost
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.static.total_cost <= 0:
+            return 0.0
+        return self.savings / self.static.total_cost
+
+    @property
+    def meets_slo(self) -> bool:
+        return self.chosen.meets_slo
+
+    def as_dict(self) -> dict:
+        return {
+            "profile": self.profile,
+            "slo_p95_ttft_s": self.slo_p95_ttft_s,
+            "chosen": self.chosen.as_dict(),
+            "static": self.static.as_dict(),
+            "curve": [p.as_dict() for p in self.curve],
+            "savings": self.savings,
+            "savings_fraction": self.savings_fraction,
+            "meets_slo": self.meets_slo,
+        }
+
+
+def default_candidates(
+    slo_p95_ttft_s: float,
+    max_pods: int,
+    requests_per_pod_per_s: float,
+    min_pods: int = 1,
+    target_utilization: float = 0.5,
+    policy_slo_fraction: float = 0.25,
+) -> list[ElasticCandidate]:
+    """The standard sweep: all three adaptive policies between the bounds.
+
+    The threshold policy reacts at ``policy_slo_fraction`` of the
+    end-to-end SLO: the run's p95 includes every scale-up transient, so
+    a policy that only moves once the *windowed* tail breaches the full
+    SLO has already lost it for the run. Reacting early keeps the
+    end-to-end tail inside the target.
+    """
+    if not 0.0 < policy_slo_fraction <= 1.0:
+        raise ValueError(
+            f"policy_slo_fraction must be in (0, 1], got {policy_slo_fraction}"
+        )
+    return [
+        ElasticCandidate(
+            "threshold",
+            min_pods,
+            max_pods,
+            lambda: ThresholdPolicy(
+                slo_p95_ttft_s=policy_slo_fraction * slo_p95_ttft_s
+            ),
+        ),
+        ElasticCandidate(
+            "target-utilization",
+            min_pods,
+            max_pods,
+            lambda: TargetUtilizationPolicy(target=target_utilization),
+        ),
+        ElasticCandidate(
+            "predictive",
+            min_pods,
+            max_pods,
+            lambda: PredictivePolicy(requests_per_pod_per_s=requests_per_pod_per_s),
+        ),
+    ]
+
+
+@dataclass
+class ElasticOptions:
+    """What ``GPURecommendationTool.recommend(elastic=...)`` needs to sweep.
+
+    The static pipeline (Eqs. 1-3) knows nothing about traffic over
+    time; these options supply the missing dynamic context: the workload
+    generator and seeded traffic factory to simulate under, the cost
+    objective, and the sweep's knobs. ``max_batch_weight`` is tuned for
+    the recommended profile when left ``None`` (the per-profile tuning
+    the characterization tool performs).
+    """
+
+    generator: "WorkloadGenerator"
+    traffic_factory: Callable[[], "TrafficModel"]
+    objective: CostObjective
+    slo_p95_ttft_s: float
+    duration_s: float
+    warmup_s: float = 0.0
+    candidates: Sequence[ElasticCandidate] | None = None
+    headroom: int = 2
+    max_batch_weight: int | None = None
+    seed: int = 0
+    decision_interval_s: float = 15.0
+    cold_start_s: float = 10.0
+    metrics_window_s: float = 30.0
+    router_factory: Callable[[], Router] | None = None
+
+
+class ElasticRecommender:
+    """Sweeps autoscaling configs through the fleet simulator and scores them.
+
+    ``traffic_factory`` must return a *fresh, identically seeded* traffic
+    model on every call — each candidate replays the same arrival
+    process, and the deployment's workload stream label is held fixed,
+    so two candidates differ only in how the fleet resizes itself.
+    """
+
+    def __init__(
+        self,
+        deployment: "Deployment",
+        traffic_factory: Callable[[], "TrafficModel"],
+        objective: CostObjective,
+        slo_p95_ttft_s: float,
+        duration_s: float,
+        warmup_s: float = 0.0,
+        decision_interval_s: float = 15.0,
+        cold_start_s: float = 10.0,
+        metrics_window_s: float = 30.0,
+        router_factory: Callable[[], Router] | None = None,
+        stream_label: object = "elastic",
+    ) -> None:
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        if slo_p95_ttft_s <= 0:
+            raise ValueError(f"slo_p95_ttft_s must be positive, got {slo_p95_ttft_s}")
+        # The sweep's premise is that every candidate faces the *same*
+        # offered load. Purely completion-driven (closed-loop) traffic
+        # has no scheduled arrivals — arrivals adapt to each candidate's
+        # service rate, so a slow candidate would throttle its own load
+        # and "save" money by serving less work. Reject it up front.
+        if traffic_factory().peek() is None:
+            raise ValueError(
+                "ElasticRecommender needs an open-loop (scheduled-arrival) "
+                "traffic model: closed-loop arrivals adapt to each "
+                "candidate's service rate, so candidates would not face "
+                "identical traffic and cost savings would be meaningless"
+            )
+        self.deployment = deployment
+        self.traffic_factory = traffic_factory
+        self.objective = objective
+        self.slo_p95_ttft_s = float(slo_p95_ttft_s)
+        self.duration_s = float(duration_s)
+        self.warmup_s = float(warmup_s)
+        self.decision_interval_s = float(decision_interval_s)
+        self.cold_start_s = float(cold_start_s)
+        self.metrics_window_s = float(metrics_window_s)
+        self.router_factory = router_factory
+        self.stream_label = stream_label
+
+    # ---- one candidate ----------------------------------------------------
+
+    def evaluate(self, candidate: ElasticCandidate) -> TradePoint:
+        """Simulate one candidate and score it with the objective."""
+        autoscaler = None
+        if candidate.make_policy is not None:
+            autoscaler = Autoscaler(
+                candidate.make_policy(),
+                AutoscaleConfig(
+                    decision_interval_s=self.decision_interval_s,
+                    min_pods=candidate.min_pods,
+                    max_pods=candidate.max_pods,
+                    cold_start_s=self.cold_start_s,
+                    metrics_window_s=self.metrics_window_s,
+                ),
+            )
+        deployment = self.deployment.scale(candidate.min_pods)
+        router = self.router_factory() if self.router_factory else None
+        result = deployment.simulate(
+            self.traffic_factory(),
+            duration_s=self.duration_s,
+            router=router,
+            warmup_s=self.warmup_s,
+            stream_label=self.stream_label,
+            keep_samples=False,
+            autoscaler=autoscaler,
+        )
+        result.verify_conservation()
+        profile = self.deployment.profile
+        compute = self.objective.compute_cost(result, profile)
+        penalty = self.objective.slo_penalty(result)
+        return TradePoint(
+            policy="static" if candidate.make_policy is None else candidate.policy,
+            min_pods=candidate.min_pods,
+            max_pods=candidate.max_pods,
+            pod_hours=result.pod_hours,
+            compute_cost=compute,
+            slo_penalty=penalty,
+            total_cost=compute + penalty,
+            p95_ttft_s=result.ttft.p95_s,
+            meets_slo=not _breached(result, self.slo_p95_ttft_s),
+            arrivals=result.arrivals,
+            shed=result.shed,
+            requests_completed=result.requests_completed,
+            scale_events=len(result.scale_events),
+            denied_or_clipped=sum(1 for e in result.scale_events if e.constraint),
+            result=result,
+        )
+
+    # ---- the sweep --------------------------------------------------------
+
+    def peak_static_pods(self, search_max: int = 8) -> tuple[int, list[TradePoint]]:
+        """Autoscaler-in-the-loop sizing of the *static* baseline.
+
+        Simulates static fleets of 1..``search_max`` pods under the same
+        traffic until the smallest SLO-meeting count is found — the
+        "peak-sized" fleet the paper's fixed answer corresponds to. The
+        whole ladder is returned as trade-curve points. When even
+        ``search_max`` pods breach, the largest is returned (honest
+        infeasibility: its penalty dominates its score).
+        """
+        if search_max < 1:
+            raise ValueError(f"search_max must be >= 1, got {search_max}")
+        ladder = []
+        for n_pods in range(1, search_max + 1):
+            point = self.evaluate(ElasticCandidate("static", n_pods, n_pods))
+            ladder.append(point)
+            if point.meets_slo:
+                return n_pods, ladder
+        return search_max, ladder
+
+    def recommend(
+        self,
+        candidates: Sequence[ElasticCandidate] | None = None,
+        static_pods: int | None = None,
+        search_max: int = 8,
+        headroom: int = 2,
+    ) -> ElasticRecommendation:
+        """Run the sweep and pick the cheapest SLO-meeting configuration.
+
+        ``static_pods`` pins the peak-sized baseline (e.g. Eq. 2's pod
+        count); left ``None``, the static sizing ladder finds it by
+        simulation. Default candidates sweep the three adaptive policies
+        between 1 and ``static_pods + headroom`` pods, with the
+        predictive policy's per-pod service rate estimated from the
+        baseline run itself. Selection prefers SLO-meeting points, then
+        the lowest total cost, then the fewest pod-hours; ``static``
+        points compete on equal terms, so the recommendation degrades
+        gracefully to "stay static" when elasticity does not pay.
+        """
+        ladder: list[TradePoint] = []
+        if static_pods is None:
+            static_pods, ladder = self.peak_static_pods(search_max)
+            static_point = ladder[-1]
+        else:
+            if static_pods < 1:
+                raise ValueError(f"static_pods must be >= 1, got {static_pods}")
+            static_point = self.evaluate(
+                ElasticCandidate("static", static_pods, static_pods)
+            )
+            ladder = [static_point]
+        if candidates is None:
+            candidates = default_candidates(
+                self.slo_p95_ttft_s,
+                max_pods=static_pods + headroom,
+                requests_per_pod_per_s=self._per_pod_rate(static_point, static_pods),
+            )
+        curve = ladder + [self.evaluate(c) for c in candidates]
+        chosen = min(
+            curve,
+            key=lambda p: (not p.meets_slo, p.total_cost, p.pod_hours),
+        )
+        return ElasticRecommendation(
+            profile=self.deployment.profile.name,
+            slo_p95_ttft_s=self.slo_p95_ttft_s,
+            chosen=chosen,
+            static=static_point,
+            curve=curve,
+        )
+
+    def _per_pod_rate(self, static_point: TradePoint, static_pods: int) -> float:
+        """Sustainable per-pod arrival rate, from the baseline run.
+
+        The peak-sized static fleet serves the whole offered load by
+        construction, so its mean per-pod completion rate is a usable
+        service-capacity estimate for the predictive policy.
+        """
+        rate = static_point.requests_completed / self.duration_s / static_pods
+        return max(rate, 1e-6)

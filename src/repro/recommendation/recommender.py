@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -20,6 +21,9 @@ from repro.hardware.pricing import PricingTable
 from repro.hardware.profile import GPUProfile
 from repro.models.llm import LLMSpec
 from repro.recommendation.weights import LatencyConstraints
+
+if TYPE_CHECKING:
+    from repro.recommendation.elastic import ElasticOptions, ElasticRecommendation
 
 __all__ = [
     "Recommendation",
@@ -177,9 +181,24 @@ class GPURecommendationTool:
         llm: LLMSpec,
         profiles: Sequence[GPUProfile],
         total_users: int,
-    ) -> Recommendation:
+        elastic: "ElasticOptions | None" = None,
+    ):
+        """Recommend hardware; with ``elastic``, also how to run it.
+
+        The static path (Eqs. 1-3) returns a :class:`Recommendation` —
+        one profile and a fixed pod count sized for ``total_users``.
+        With ``elastic`` set (an
+        :class:`~repro.recommendation.elastic.ElasticOptions`), that
+        fixed count becomes the peak-sized baseline of an
+        autoscaler-in-the-loop sweep on the recommended profile, and an
+        :class:`~repro.recommendation.elastic.ElasticRecommendation` is
+        returned instead — carrying the (policy, min_pods, max_pods)
+        choice, the full trade curve and the savings vs the static
+        answer. An infeasible static recommendation is returned as-is
+        (there is no profile to simulate on).
+        """
         names = self.feasible_profiles(llm, profiles)
-        return recommend_from_predictions(
+        rec = recommend_from_predictions(
             predictor=self.perf_model.predict,
             llm=llm,
             profiles=names,
@@ -188,3 +207,48 @@ class GPURecommendationTool:
             total_users=total_users,
             user_counts=self.user_counts,
         )
+        if elastic is None or not rec.feasible:
+            return rec
+        return self._recommend_elastic(llm, rec, elastic)
+
+    def _recommend_elastic(
+        self, llm: LLMSpec, rec: Recommendation, opts: "ElasticOptions"
+    ) -> "ElasticRecommendation":
+        # Deployment pulls in the engine/cluster stack; keep the static
+        # recommendation path importable without it.
+        from repro.characterization import BatchWeightTuner
+        from repro.cluster.deployment import Deployment
+        from repro.hardware.profile import parse_profile
+        from repro.recommendation.elastic import ElasticRecommender
+
+        profile = parse_profile(rec.profile)
+        weight = opts.max_batch_weight
+        if weight is None:
+            weight = BatchWeightTuner(llm, profile).tune().max_batch_weight
+        deployment = Deployment(
+            llm=llm,
+            profile=profile,
+            n_pods=rec.n_pods,
+            max_batch_weight=weight,
+            generator=opts.generator,
+            seed=opts.seed,
+        )
+        recommender = ElasticRecommender(
+            deployment,
+            opts.traffic_factory,
+            opts.objective,
+            slo_p95_ttft_s=opts.slo_p95_ttft_s,
+            duration_s=opts.duration_s,
+            warmup_s=opts.warmup_s,
+            decision_interval_s=opts.decision_interval_s,
+            cold_start_s=opts.cold_start_s,
+            metrics_window_s=opts.metrics_window_s,
+            router_factory=opts.router_factory,
+        )
+        out = recommender.recommend(
+            candidates=opts.candidates,
+            static_pods=rec.n_pods,
+            headroom=opts.headroom,
+        )
+        out.static_recommendation = rec
+        return out

@@ -236,6 +236,33 @@ class ClusterResult:
             peaks[gpu] = int(used.max())
         return peaks
 
+    def peak_pods(self) -> dict[str, int]:
+        """Max pods each tenant simultaneously held, replayed from the ledger.
+
+        Counts every provisioned pod (serving, cold-starting, draining)
+        since all of them hold GPUs. This is what the feedback scheduler
+        pre-reserves: the demand the inventory actually *granted* the
+        tenant, as opposed to what its autoscaler asked for.
+        """
+        held = {t: 0 for t in self.tenants}
+        peak = {t: 0 for t in self.tenants}
+        for event in self.events:
+            if event.tenant not in held:
+                continue
+            held[event.tenant] += event.delta
+            peak[event.tenant] = max(peak[event.tenant], held[event.tenant])
+        return {
+            t: peak[t] // parse_profile(self.profiles[t]).count
+            for t in self.tenants
+        }
+
+    def contended_counts(self) -> dict[str, int]:
+        """Denied + clipped scale-up events per tenant (0 when none)."""
+        counts = {t: 0 for t in self.tenants}
+        for tenant, _ in self.contended_scale_events():
+            counts[tenant] += 1
+        return counts
+
     def meets_slo(self, tenant: str) -> bool | None:
         """Did the tenant's p95 TTFT stay within its target (None: no SLO)."""
         slo = self.slos.get(tenant)

@@ -375,3 +375,96 @@ class TestAdmissionController:
         res = fleet.run(duration_s=120.0)
         res.verify_conservation()
         assert res.deferrals > 0
+
+    def test_defer_exhaustion_sheds_at_fleet_level(self, generator):
+        """Persistent overload drains the retry budget: max_defers
+        exhausted turns into fleet-level shed, and arrivals are still
+        conserved (a deferred request is counted as one arrival no
+        matter how many times it is re-offered)."""
+        traffic = PoissonTraffic(10.0, rng=derive_rng(7, "defer-exhaust"))
+        router = AdmissionController(
+            LeastLoadedRouter(),
+            slo_p95_ttft_s=0.2,
+            window_s=30.0,
+            mode="defer",
+            retry_delay_s=2.0,
+            max_defers=2,
+        )
+        fleet = _fleet(generator, traffic, seed=7, router=router)
+        res = fleet.run(duration_s=120.0)
+        res.verify_conservation()
+        assert res.deferrals > 0
+        assert res.shed > 0
+        # The controller's tallies agree with the fleet's.
+        assert router.deferred == res.deferrals
+        assert router.shed == res.shed
+        # Re-offers never inflate the arrival count.
+        assert res.arrivals == res.admitted + res.shed
+        assert res.admitted == sum(fleet.routed_counts)
+
+    def test_defer_with_autoscaler_end_to_end(self, generator):
+        """Defer mode rides the elastic fleet: deferred arrivals retry
+        while the autoscaler adds capacity, so deferrals convert into
+        served work instead of rejections once pods arrive."""
+        traffic = PoissonTraffic(6.0, rng=derive_rng(8, "defer-scale"))
+        router = AdmissionController(
+            LeastLoadedRouter(),
+            slo_p95_ttft_s=0.5,
+            window_s=20.0,
+            mode="defer",
+            retry_delay_s=3.0,
+            max_defers=5,
+        )
+        fleet = _fleet(
+            generator, traffic, seed=8, router=router,
+            autoscaler=self._overload_autoscaler(),
+        )
+        res = fleet.run(duration_s=120.0)
+        res.verify_conservation()
+        assert res.deferrals > 0
+        assert res.scale_events, "overload must trigger scale-ups"
+        assert res.n_pods > 1
+        assert res.requests_completed > 0
+
+    def _overload_autoscaler(self):
+        return Autoscaler(
+            ThresholdPolicy(slo_p95_ttft_s=1.0),
+            AutoscaleConfig(
+                decision_interval_s=10.0, max_pods=4,
+                cold_start_s=5.0, metrics_window_s=20.0,
+            ),
+        )
+
+    def test_defer_mode_in_cluster_co_simulation(self, generator):
+        """Defer mode at the cluster layer: deferred retries cross the
+        shared clock without breaking tenant conservation or the
+        inventory ledger."""
+        from repro.simulation import (
+            ClusterInventory, ClusterSimulator, TenantGroup,
+        )
+
+        def tenant(name, seed, rate):
+            router = AdmissionController(
+                LeastLoadedRouter(),
+                slo_p95_ttft_s=0.5,
+                window_s=20.0,
+                mode="defer",
+                retry_delay_s=2.0,
+            )
+            fleet = _fleet(
+                generator,
+                PoissonTraffic(rate, rng=derive_rng(seed, "cluster-defer", name)),
+                seed=seed,
+                router=router,
+                autoscaler=self._overload_autoscaler(),
+            )
+            return TenantGroup(name, fleet, PROFILE.name)
+
+        sim = ClusterSimulator(
+            [tenant("a", 10, 6.0), tenant("b", 11, 6.0)],
+            ClusterInventory(capacity={PROFILE.gpu.name: 3}),
+        )
+        res = sim.run(duration_s=90.0)
+        res.verify_conservation()
+        assert sum(r.deferrals for r in res.results.values()) > 0
+        assert res.contended_scale_events(), "capacity 3 must contend"

@@ -1,5 +1,7 @@
 """Tests for the repro-pilot command-line interface."""
 
+import json
+
 import pytest
 
 from repro.characterization import PerfDataset
@@ -36,6 +38,26 @@ class TestParser:
     def test_simulate_rejects_unknown_router(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--router", "random"])
+
+    def test_recommend_elastic_defaults(self):
+        args = build_parser().parse_args(["recommend-elastic"])
+        assert args.command == "recommend-elastic"
+        assert args.penalty == "linear"
+        assert args.static_pods == 0
+        assert args.headroom == 2
+        assert not args.json
+
+    def test_recommend_elastic_rejects_unknown_penalty(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recommend-elastic", "--penalty", "cubic"])
+
+    def test_cluster_sim_requires_tenant_and_capacity(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster-sim"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cluster-sim", "--tenant", "a:Llama-2-7b:1xT4-16GB:1:poisson:1"]
+            )
 
 
 class TestCommands:
@@ -170,3 +192,171 @@ class TestCommands:
         rc = main(["simulate", "--requests", "3000", "--llm", "not-a-model"])
         assert rc == 2
         assert "error" in capsys.readouterr().err
+
+
+CLUSTER_ARGS = [
+    "cluster-sim",
+    "--tenant", "chat:Llama-2-13b:1xA100-80GB:1:poisson:4.0",
+    "--tenant", "code:Llama-2-13b:1xA100-80GB:1:poisson:4.0",
+    "--capacity", "A100-80GB=3",
+    "--max-batch-weight", "20000",
+    "--duration", "30",
+    "--requests", "3000",
+]
+
+
+class TestClusterSimCommand:
+    def test_runs_and_reports(self, capsys):
+        rc = main(CLUSTER_ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 tenants on one clock" in out
+        assert "Peak GPU occupancy" in out
+
+    def test_json_output_schema(self, capsys):
+        rc = main(CLUSTER_ARGS + ["--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == {
+            "duration_s", "capacity", "total_cost", "peak_occupancy",
+            "tenants", "contended_scale_events",
+        }
+        assert data["capacity"] == {"A100-80GB": 3}
+        assert [t["name"] for t in data["tenants"]] == ["chat", "code"]
+        for tenant in data["tenants"]:
+            assert tenant["arrivals"] >= 0
+            assert tenant["pod_seconds"] >= 0
+            assert tenant["cost"] >= 0
+        for event in data["contended_scale_events"]:
+            assert event["constraint"] in ("denied", "clipped")
+            assert event["tenant"] in ("chat", "code")
+        assert data["peak_occupancy"]["A100-80GB"] <= 3
+
+    def test_policy_none_and_admission(self, capsys):
+        rc = main(CLUSTER_ARGS + ["--policy", "none", "--admission", "shed"])
+        assert rc == 0
+        assert "tenants on one clock" in capsys.readouterr().out
+
+    def test_bad_tenant_spec_exits_2(self, capsys):
+        rc = main(
+            [
+                "cluster-sim",
+                "--tenant", "broken-spec",
+                "--capacity", "A100-80GB=2",
+                "--requests", "3000",
+            ]
+        )
+        assert rc == 2
+        assert "tenant spec" in capsys.readouterr().err
+
+    def test_bad_capacity_spec_exits_2(self, capsys):
+        rc = main(
+            [
+                "cluster-sim",
+                "--tenant", "a:Llama-2-13b:1xA100-80GB:1:poisson:1.0",
+                "--capacity", "A100-80GB",
+                "--requests", "3000",
+            ]
+        )
+        assert rc == 2
+        assert "capacity spec" in capsys.readouterr().err
+
+    def test_unknown_llm_in_tenant_exits_2(self, capsys):
+        rc = main(
+            [
+                "cluster-sim",
+                "--tenant", "a:not-a-model:1xA100-80GB:1:poisson:1.0",
+                "--capacity", "A100-80GB=2",
+                "--requests", "3000",
+            ]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_initial_allocation_too_big_exits_2(self, capsys):
+        rc = main(
+            [
+                "cluster-sim",
+                "--tenant", "a:Llama-2-13b:1xA100-80GB:4:poisson:1.0",
+                "--capacity", "A100-80GB=2",
+                "--duration", "10",
+                "--requests", "3000",
+            ]
+        )
+        assert rc == 2
+        assert "initial allocation" in capsys.readouterr().err
+
+
+ELASTIC_ARGS = [
+    "recommend-elastic",
+    "--llm", "Llama-2-13b",
+    "--profile", "1xA100-80GB",
+    "--max-batch-weight", "20000",
+    "--traffic", "poisson",
+    "--rate", "2.0",
+    "--duration", "30",
+    "--slo-ttft-ms", "20000",
+    "--requests", "3000",
+]
+
+
+class TestRecommendElasticCommand:
+    def test_runs_and_reports_curve(self, capsys):
+        rc = main(ELASTIC_ARGS + ["--static-pods", "1"])
+        assert rc in (0, 1)  # recommendation or honest infeasibility
+        out = capsys.readouterr().out
+        assert "Trade curve for Llama-2-13b" in out
+        assert "Recommendation:" in out
+        assert "static[1]" in out
+
+    def test_json_output_schema(self, capsys):
+        rc = main(ELASTIC_ARGS + ["--static-pods", "2", "--json"])
+        assert rc in (0, 1)
+        data = json.loads(capsys.readouterr().out)
+        assert set(data) == {
+            "profile", "slo_p95_ttft_s", "chosen", "static", "curve",
+            "savings", "savings_fraction", "meets_slo",
+        }
+        assert data["profile"] == "1xA100-80GB"
+        assert data["static"]["policy"] == "static"
+        assert data["static"]["min_pods"] == 2
+        assert len(data["curve"]) >= 4  # baseline + three default policies
+        policies = {p["policy"] for p in data["curve"]}
+        assert {"static", "threshold", "target-utilization",
+                "predictive"} <= policies
+        for point in data["curve"]:
+            assert point["total_cost"] == pytest.approx(
+                point["compute_cost"] + point["slo_penalty"]
+            )
+        # Exit code mirrors SLO attainment of the chosen config.
+        assert rc == (0 if data["meets_slo"] else 1)
+
+    def test_sizing_ladder_without_static_pods(self, capsys):
+        rc = main(ELASTIC_ARGS + ["--search-max", "3"])
+        assert rc in (0, 1)
+        data_out = capsys.readouterr().out
+        assert "static[1]" in data_out
+
+    def test_unknown_llm_exits_2(self, capsys):
+        rc = main(
+            ["recommend-elastic", "--llm", "not-a-model", "--requests", "3000"]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_static_pods_exits_2(self, capsys):
+        rc = main(ELASTIC_ARGS + ["--static-pods", "-1"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_closed_loop_traffic_rejected(self, capsys):
+        rc = main(
+            [
+                "recommend-elastic",
+                "--traffic", "closed",
+                "--users", "8",
+                "--requests", "3000",
+            ]
+        )
+        assert rc == 2
+        assert "open-loop" in capsys.readouterr().err

@@ -232,6 +232,64 @@ class TestContention:
         assert res_a.events == res_b.events
 
 
+class TestGoldenPin:
+    """The co-simulation interface is regression-gated like the PR 1
+    single-pod path: these exact per-tenant numbers were recorded from
+    the scenario below at the session fixtures' seeds. A refactor of the
+    cluster loop, the fleet co-simulation interface, or the ledger that
+    changes any of them is a behaviour change, not a cleanup — re-pin
+    deliberately or fix the regression."""
+
+    @pytest.fixture(scope="class")
+    def pinned(self, generator):
+        tenants = [
+            TenantGroup(
+                "quiet",
+                _fleet(generator, "quiet", 1.0, 1, autoscaler=_scaler(max_pods=3)),
+                PROFILE.name,
+                slo_p95_ttft_s=5.0,
+            ),
+            TenantGroup(
+                "noisy",
+                _fleet(generator, "noisy", 8.0, 2, autoscaler=_scaler(max_pods=6)),
+                PROFILE.name,
+            ),
+        ]
+        sim = ClusterSimulator(
+            tenants, ClusterInventory(capacity={PROFILE.gpu.name: 3})
+        )
+        return sim.run(duration_s=60.0)
+
+    def test_quiet_tenant_pinned(self, pinned):
+        quiet = pinned.results["quiet"]
+        assert quiet.arrivals == 59
+        assert quiet.shed == 0
+        assert quiet.requests_completed == 49
+        assert quiet.ttft.p95_s == 0.3945801254818189
+        assert quiet.pod_seconds == 60.00551579467534
+        assert quiet.scale_events == []
+
+    def test_noisy_tenant_pinned(self, pinned):
+        noisy = pinned.results["noisy"]
+        assert noisy.arrivals == 442
+        assert noisy.shed == 0
+        assert noisy.requests_completed == 191
+        assert noisy.ttft.p95_s == 28.758722939711756
+        assert noisy.pod_seconds == 110.0735820359907
+        assert len(noisy.scale_events) == 5
+        assert sum(1 for e in noisy.scale_events if e.denied) == 4
+        assert sum(1 for e in noisy.scale_events if e.clipped) == 0
+
+    def test_cost_and_ledger_pinned(self, pinned):
+        cost = pinned.cost(aws_like_pricing())
+        assert cost["quiet"] == 0.08534117801909381
+        assert cost["noisy"] == 0.15654909445118675
+        assert pinned.peak_occupancy() == {PROFILE.gpu.name: 3}
+        assert pinned.peak_pods() == {"quiet": 1, "noisy": 2}
+        assert len(pinned.events) == 3
+        pinned.verify_conservation()
+
+
 class TestValidation:
     def test_duplicate_tenant_names_rejected(self, generator):
         groups = [

@@ -136,3 +136,33 @@ class TestPricing:
         other = base.with_override("T4-16GB", 99.0)
         assert base.gpu_price("T4-16GB") != 99.0
         assert other.gpu_price("T4-16GB") == 99.0
+
+    def test_with_override_can_add_a_new_gpu_type(self):
+        base = aws_like_pricing()
+        extended = base.with_override("B200-192GB", 25.0)
+        assert extended.gpu_price("B200-192GB") == 25.0
+        with pytest.raises(KeyError):
+            base.gpu_price("B200-192GB")
+
+    def test_zero_price_is_valid(self):
+        # A free tier (e.g. on-prem sunk cost) is a legitimate table.
+        table = PricingTable(per_gpu_hourly={"T4-16GB": 0.0})
+        assert table.gpu_price("T4-16GB") == 0.0
+        assert table.pod_cost(parse_profile("4xT4-16GB")) == 0.0
+
+    def test_deployment_cost_zero_pods(self):
+        pricing = aws_like_pricing()
+        assert pricing.deployment_cost(parse_profile("1xA10-24GB"), 0) == 0.0
+
+    def test_empty_table_reports_no_priced_types(self):
+        with pytest.raises(KeyError, match="priced types"):
+            PricingTable().gpu_price("H100-80GB")
+
+    def test_all_default_profiles_are_priced(self):
+        # Every profile the recommender can emit must have a c(G).
+        pricing = aws_like_pricing()
+        for profile in default_profiles():
+            assert pricing.pod_cost(profile) > 0
+            assert pricing.pod_cost(profile) == pytest.approx(
+                profile.count * pricing.gpu_price(profile.gpu.name)
+            )

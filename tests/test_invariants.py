@@ -1,0 +1,256 @@
+"""Property-based invariants of the simulation substrate.
+
+Randomized seeds, traffic models, routers and autoscaling policies are
+swept with hypothesis; whatever the draw, the substrate's conservation
+laws must hold:
+
+* request conservation — every offered arrival is admitted or shed, and
+  every admitted request completes or is still in flight at the end
+  (``FleetResult.verify_conservation``);
+* ledger replay — the cluster inventory's event log, replayed in causal
+  order, never goes negative and never exceeds capacity;
+* billing sanity — pod-seconds are non-negative, never below the
+  always-on single-pod floor, never above a flat-out ``max_pods`` fleet,
+  and exactly ``pods * time`` for static fleets;
+* degeneracy — a 1-tenant cluster with ample inventory is the standalone
+  fleet simulation, number for number.
+
+``derandomize=True`` keeps CI deterministic: the sweep is a fixed,
+diverse grid rather than a fresh random draw per run.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import parse_profile
+from repro.inference import ContinuousBatchingEngine
+from repro.models import get_llm
+from repro.simulation import (
+    AdmissionController,
+    Autoscaler,
+    AutoscaleConfig,
+    BurstyTraffic,
+    ClusterInventory,
+    ClusterSimulator,
+    DiurnalTraffic,
+    FleetSimulator,
+    JoinShortestQueueRouter,
+    LeastLoadedRouter,
+    PoissonTraffic,
+    PredictivePolicy,
+    RequestSource,
+    RoundRobinRouter,
+    TargetUtilizationPolicy,
+    TenantGroup,
+    ThresholdPolicy,
+)
+from repro.utils.rng import derive_rng, spawn_seed
+
+LLM = get_llm("Llama-2-13b")
+PROFILE = parse_profile("1xA100-80GB")
+WEIGHT = 20_000
+DURATION_S = 45.0
+
+SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+rates = st.floats(min_value=1.0, max_value=8.0, allow_nan=False)
+traffic_kinds = st.sampled_from(["poisson", "diurnal", "bursty"])
+policy_kinds = st.sampled_from(
+    ["threshold", "target-utilization", "predictive", "none"]
+)
+router_kinds = st.sampled_from(["round-robin", "least-loaded", "jsq", "admission"])
+max_pods = st.integers(min_value=2, max_value=5)
+
+
+def _traffic(kind, rate, seed):
+    rng = derive_rng(seed, "invariant-traffic", kind)
+    if kind == "poisson":
+        return PoissonTraffic(rate, rng=rng)
+    if kind == "diurnal":
+        return DiurnalTraffic(rate, rng=rng, amplitude=0.8, period_s=30.0)
+    return BurstyTraffic(rate, rng=rng, mean_on_s=10.0, mean_off_s=10.0)
+
+
+def _router(kind):
+    if kind == "round-robin":
+        return RoundRobinRouter()
+    if kind == "least-loaded":
+        return LeastLoadedRouter()
+    if kind == "jsq":
+        return JoinShortestQueueRouter()
+    return AdmissionController(
+        LeastLoadedRouter(), slo_p95_ttft_s=1.0, window_s=15.0, mode="shed"
+    )
+
+
+def _policy(kind):
+    if kind == "threshold":
+        return ThresholdPolicy(slo_p95_ttft_s=1.0)
+    if kind == "target-utilization":
+        return TargetUtilizationPolicy(target=0.5)
+    if kind == "predictive":
+        return PredictivePolicy(requests_per_pod_per_s=1.0)
+    return None
+
+
+def _fleet(generator, seed, kind, rate, router_kind="least-loaded",
+           policy_kind="none", cap=4, label="fleet"):
+    def factory(serial):
+        return ContinuousBatchingEngine(
+            LLM, PROFILE, max_batch_weight=WEIGHT,
+            seed=spawn_seed(seed, "pod", serial),
+        )
+
+    policy = _policy(policy_kind)
+    autoscaler = None
+    if policy is not None:
+        autoscaler = Autoscaler(
+            policy,
+            AutoscaleConfig(
+                decision_interval_s=10.0, max_pods=cap,
+                cold_start_s=5.0, metrics_window_s=15.0,
+            ),
+        )
+    source = RequestSource(
+        generator, derive_rng(seed, "invariant-source", label), WEIGHT
+    )
+    return FleetSimulator(
+        [factory(0)],
+        _traffic(kind, rate, seed),
+        _router(router_kind),
+        source,
+        autoscaler=autoscaler,
+        pod_factory=factory,
+    )
+
+
+class TestFleetInvariants:
+    @SETTINGS
+    @given(seed=seeds, kind=traffic_kinds, rate=rates,
+           router_kind=router_kinds, policy_kind=policy_kinds, cap=max_pods)
+    def test_request_conservation(
+        self, generator, seed, kind, rate, router_kind, policy_kind, cap
+    ):
+        fleet = _fleet(generator, seed, kind, rate, router_kind, policy_kind, cap)
+        res = fleet.run(duration_s=DURATION_S, keep_samples=False)
+        res.verify_conservation()
+        assert res.arrivals == res.admitted + res.shed
+        # Every admitted request was routed to exactly one pod.
+        assert res.admitted == sum(fleet.routed_counts)
+        # Tokens come only from admitted work, counted once per pod.
+        assert res.tokens_generated == sum(
+            p.tokens_generated for p in res.per_pod
+        )
+
+    @SETTINGS
+    @given(seed=seeds, kind=traffic_kinds, rate=rates, policy_kind=policy_kinds,
+           cap=max_pods)
+    def test_pod_seconds_bounds(self, generator, seed, kind, rate, policy_kind, cap):
+        fleet = _fleet(generator, seed, kind, rate, policy_kind=policy_kind, cap=cap)
+        res = fleet.run(duration_s=DURATION_S, keep_samples=False)
+        assert res.pod_seconds >= 0.0
+        # One pod is always routable (the fleet never drains its last),
+        # so billing can never dip below the single-pod floor...
+        assert res.pod_seconds >= res.time_s * (1.0 - 1e-9)
+        # ...and a fleet flat-out at max_pods for the whole run is the
+        # ceiling.
+        assert res.pod_seconds <= cap * res.time_s * (1.0 + 1e-9)
+
+    @SETTINGS
+    @given(seed=seeds, kind=traffic_kinds, rate=rates,
+           n_pods=st.integers(min_value=1, max_value=3))
+    def test_static_fleet_bills_exactly(self, generator, seed, kind, rate, n_pods):
+        def factory(serial):
+            return ContinuousBatchingEngine(
+                LLM, PROFILE, max_batch_weight=WEIGHT,
+                seed=spawn_seed(seed, "pod", serial),
+            )
+
+        source = RequestSource(generator, derive_rng(seed, "static-bill"), WEIGHT)
+        fleet = FleetSimulator(
+            [factory(i) for i in range(n_pods)],
+            _traffic(kind, rate, seed),
+            LeastLoadedRouter(),
+            source,
+        )
+        res = fleet.run(duration_s=DURATION_S, keep_samples=False)
+        res.verify_conservation()
+        assert res.pod_seconds == pytest.approx(n_pods * res.time_s)
+
+
+class TestClusterInvariants:
+    @SETTINGS
+    @given(seed=seeds, rate_a=rates, rate_b=rates, kind=traffic_kinds,
+           policy_kind=st.sampled_from(["threshold", "target-utilization"]),
+           capacity=st.integers(min_value=2, max_value=4))
+    def test_ledger_replay_and_conservation(
+        self, generator, seed, rate_a, rate_b, kind, policy_kind, capacity
+    ):
+        tenants = [
+            TenantGroup(
+                "a",
+                _fleet(generator, seed, kind, rate_a,
+                       policy_kind=policy_kind, cap=4, label="a"),
+                PROFILE.name,
+            ),
+            TenantGroup(
+                "b",
+                _fleet(generator, seed + 1, kind, rate_b,
+                       policy_kind=policy_kind, cap=4, label="b"),
+                PROFILE.name,
+            ),
+        ]
+        sim = ClusterSimulator(
+            tenants, ClusterInventory(capacity={PROFILE.gpu.name: capacity})
+        )
+        res = sim.run(duration_s=DURATION_S)
+        # Per-tenant conservation + causal ledger replay (occupancy never
+        # negative, never above capacity) + end-state holds match.
+        res.verify_conservation()
+        _, used = res.occupancy_series(PROFILE.gpu.name)
+        assert used.min() >= 0
+        assert used.max() <= capacity
+        assert res.peak_occupancy()[PROFILE.gpu.name] == used.max()
+        # Peak pods per tenant replays from the same ledger: every tenant
+        # held at least its initial pod and never more than the capacity.
+        peaks = res.peak_pods()
+        assert all(1 <= v <= capacity for v in peaks.values())
+        # Pod-second billing stays within the per-tenant bounds.
+        for result in res.results.values():
+            assert result.pod_seconds >= 0.0
+            assert result.pod_seconds <= 4 * result.time_s * (1.0 + 1e-9)
+
+    @SETTINGS
+    @given(seed=seeds, kind=traffic_kinds, rate=rates,
+           policy_kind=st.sampled_from(["threshold", "predictive", "none"]))
+    def test_one_tenant_cluster_equals_standalone_fleet(
+        self, generator, seed, kind, rate, policy_kind
+    ):
+        standalone = _fleet(
+            generator, seed, kind, rate, policy_kind=policy_kind, label="solo"
+        ).run(duration_s=DURATION_S, keep_samples=False)
+        clustered_fleet = _fleet(
+            generator, seed, kind, rate, policy_kind=policy_kind, label="solo"
+        )
+        sim = ClusterSimulator(
+            [TenantGroup("solo", clustered_fleet, PROFILE.name)],
+            ClusterInventory(capacity={PROFILE.gpu.name: 64}),
+        )
+        res = sim.run(duration_s=DURATION_S)
+        clustered = res.results["solo"]
+        assert clustered.arrivals == standalone.arrivals
+        assert clustered.shed == standalone.shed
+        assert clustered.tokens_generated == standalone.tokens_generated
+        assert clustered.requests_completed == standalone.requests_completed
+        assert clustered.ttft.median_s == standalone.ttft.median_s
+        assert clustered.ttft.p95_s == standalone.ttft.p95_s
+        assert clustered.itl.p95_s == standalone.itl.p95_s
+        assert clustered.pod_seconds == standalone.pod_seconds
+        assert clustered.scale_events == standalone.scale_events
