@@ -12,7 +12,9 @@ Subcommands mirror the two roles the paper defines (§I):
   - ``info``          workload-generator and catalog statistics;
   - ``simulate``      fleet-level what-if simulation: N pods on a shared
     virtual clock under closed-loop / Poisson / diurnal / bursty traffic
-    with a pluggable front-end router;
+    — or a recorded arrival log replayed via ``--traffic replay`` — with
+    a pluggable front-end router; ``--scenario FILE`` instead runs a
+    declarative scenario spec (see ``docs/scenarios.md``) end to end;
   - ``autoscale``     the same fleet under an autoscaling policy
     (threshold / target-utilization / predictive) and optional SLO-aware
     admission control, reporting the scale-event log and pod-hour bill;
@@ -20,6 +22,7 @@ Subcommands mirror the two roles the paper defines (§I):
     its own traffic, router/admission and autoscaler, contending for one
     finite GPU inventory on one shared virtual clock — reports per-tenant
     outcomes, denied/clipped scale-ups and per-GPU-type occupancy;
+    accepts ``--scenario FILE`` for declarative cluster specs;
   - ``recommend-elastic``  autoscaler-in-the-loop sizing: sweep
     (policy, min_pods, max_pods) candidates under a traffic model, score
     each by pod-second bill + SLO penalty, and report the trade curve,
@@ -56,6 +59,7 @@ from repro.simulation import (
     AUTOSCALE_POLICIES,
     ROUTERS,
     AdmissionController,
+    ArrivalLog,
     Autoscaler,
     AutoscaleConfig,
     BurstyTraffic,
@@ -66,6 +70,8 @@ from repro.simulation import (
     NoOpPolicy,
     PoissonTraffic,
     PredictivePolicy,
+    ReplayTraffic,
+    ScenarioSpec,
     TargetUtilizationPolicy,
     TenantGroup,
     ThresholdPolicy,
@@ -118,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.add_argument("--seed", type=int, default=0)
 
     p_sim = sub.add_parser("simulate", help="fleet-level traffic simulation")
+    p_sim.add_argument(
+        "--scenario",
+        help="declarative scenario spec (.json/.yaml); overrides other flags",
+    )
     _add_fleet_args(p_sim)
 
     p_auto = sub.add_parser(
@@ -171,10 +181,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="multi-tenant co-simulation on a finite GPU inventory",
     )
     p_cluster.add_argument(
+        "--scenario",
+        help="declarative cluster scenario spec (.json/.yaml); replaces "
+        "--tenant/--capacity",
+    )
+    p_cluster.add_argument(
         "--tenant",
         action="append",
         dest="tenants",
-        required=True,
         metavar="NAME:LLM:PROFILE:PODS:TRAFFIC:PARAM",
         help=(
             "one tenant (repeatable), e.g. "
@@ -187,7 +201,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--capacity",
         action="append",
         dest="capacity",
-        required=True,
         metavar="GPU=N",
         help="GPU inventory (repeatable), e.g. 'A100-40GB=8'",
     )
@@ -304,7 +317,7 @@ def _add_fleet_args(p: argparse.ArgumentParser, pods: bool = True) -> None:
     p.add_argument("--router", choices=sorted(ROUTERS), default="least-loaded")
     p.add_argument(
         "--traffic",
-        choices=["closed", "poisson", "diurnal", "bursty"],
+        choices=["closed", "poisson", "diurnal", "bursty", "replay"],
         default="poisson",
     )
     p.add_argument("--users", type=int, default=16, help="closed-loop population")
@@ -318,6 +331,22 @@ def _add_fleet_args(p: argparse.ArgumentParser, pods: bool = True) -> None:
     p.add_argument("--period", type=float, default=300.0, help="diurnal period s")
     p.add_argument("--mean-on", type=float, default=20.0, help="bursty ON dwell s")
     p.add_argument("--mean-off", type=float, default=40.0, help="bursty OFF dwell s")
+    p.add_argument(
+        "--arrivals",
+        help="recorded arrival log (.csv/.jsonl) for --traffic replay",
+    )
+    p.add_argument(
+        "--speedup",
+        type=float,
+        default=1.0,
+        help="replay time-warp factor (>1 compresses the log)",
+    )
+    p.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="clip the replayed log to its first HORIZON seconds",
+    )
     p.add_argument("--duration", type=float, default=60.0)
     p.add_argument("--warmup", type=float, default=0.0)
     p.add_argument("--traces", help=".npz trace collection (else synthesized)")
@@ -450,7 +479,8 @@ def _cmd_info(args) -> int:
 
 
 def _build_traffic(kind: str, param, rng, args):
-    """One traffic model; ``param`` is the user count (closed) or rate/s."""
+    """One traffic model; ``param`` is the user count (closed), the
+    arrival-log path (replay) or the rate/s (everything else)."""
     if kind == "closed":
         return ClosedLoopTraffic(int(param))
     if kind == "poisson":
@@ -463,39 +493,80 @@ def _build_traffic(kind: str, param, rng, args):
         return BurstyTraffic(
             float(param), rng=rng, mean_on_s=args.mean_on, mean_off_s=args.mean_off
         )
+    if kind == "replay":
+        if param is None or param == "":
+            raise ValueError("--traffic replay needs --arrivals FILE")
+        log = param if isinstance(param, ArrivalLog) else ArrivalLog.load(str(param))
+        return ReplayTraffic(
+            log,
+            speedup=getattr(args, "speedup", 1.0),
+            horizon_s=getattr(args, "horizon", None),
+        )
     raise ValueError(f"unknown traffic kind {kind!r}")
+
+
+def _traffic_param(args):
+    """The positional knob of the selected traffic kind."""
+    if args.traffic == "closed":
+        return args.users
+    if args.traffic == "replay":
+        return args.arrivals
+    return args.rate
 
 
 def _make_traffic(args):
     rng = derive_rng(args.seed, "sim-traffic", args.traffic)
-    param = args.users if args.traffic == "closed" else args.rate
-    return _build_traffic(args.traffic, param, rng, args)
+    return _build_traffic(args.traffic, _traffic_param(args), rng, args)
 
 
 def _cmd_simulate(args) -> int:
-    traces = _load_or_make_traces(args)
-    generator = WorkloadGenerator.fit(traces)
     try:
-        llm = get_llm(args.llm)
-        profile = parse_profile(args.profile)
-        deployment = Deployment(
-            llm=llm,
-            profile=profile,
-            n_pods=args.pods,
-            max_batch_weight=args.max_batch_weight,
-            generator=generator,
-            seed=args.seed,
-        )
-        res = deployment.simulate(
-            _make_traffic(args),
-            duration_s=args.duration,
-            router=ROUTERS[args.router](),
-            warmup_s=args.warmup,
-            stream_label=args.traffic,
-        )
-    except (KeyError, ValueError) as exc:
+        if args.scenario:
+            # Building (spec parsing, unknown LLM/profile, missing log
+            # files) is user input and belongs inside the error handler;
+            # running and the conservation check happen after it, so a
+            # simulator bug surfaces as a traceback, not "error:".
+            spec = ScenarioSpec.load(args.scenario)
+            if spec.is_cluster:
+                raise ValueError(
+                    f"scenario {spec.name!r} declares tenants; run it with "
+                    "cluster-sim --scenario"
+                )
+            fleet = spec.build_fleet()
+            label, pods = spec.llm, spec.pods
+            profile_name = spec.profile
+        else:
+            traces = _load_or_make_traces(args)
+            generator = WorkloadGenerator.fit(traces)
+            llm = get_llm(args.llm)
+            profile = parse_profile(args.profile)
+            deployment = Deployment(
+                llm=llm,
+                profile=profile,
+                n_pods=args.pods,
+                max_batch_weight=args.max_batch_weight,
+                generator=generator,
+                seed=args.seed,
+            )
+            res = deployment.simulate(
+                _make_traffic(args),
+                duration_s=args.duration,
+                router=ROUTERS[args.router](),
+                warmup_s=args.warmup,
+                stream_label=args.traffic,
+            )
+            label, pods = llm.name, args.pods
+            profile_name = profile.name
+    except (KeyError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.scenario:
+        res = fleet.run(
+            duration_s=spec.duration_s, warmup_s=spec.warmup_s, keep_samples=True
+        )
+        # A conservation violation is a simulator bug and should surface
+        # as a traceback, not "error:".
+        res.verify_conservation()
     rows = [
         [
             p.pod,
@@ -524,7 +595,7 @@ def _cmd_simulate(args) -> int:
             rows,
             floatfmt=".3f",
             title=(
-                f"{llm.name} on {args.pods}x {profile.name} — "
+                f"{label} on {pods}x {profile_name} — "
                 f"{res.traffic} traffic, {res.router} routing, "
                 f"{res.duration_s:.0f}s window:"
             ),
@@ -592,7 +663,7 @@ def _cmd_autoscale(args) -> int:
             stream_label=args.traffic,
             autoscaler=autoscaler,
         )
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     # Outside the user-input error handler: a conservation violation is
@@ -679,19 +750,36 @@ def _parse_tenant_group(spec: str, args, generator) -> TenantGroup:
 
 
 def _cmd_cluster_sim(args) -> int:
-    traces = _load_or_make_traces(args)
-    generator = WorkloadGenerator.fit(traces)
     try:
-        capacity = {}
-        for spec in args.capacity:
-            gpu, _, count = spec.partition("=")
-            if not count:
-                raise ValueError(f"capacity spec must be GPU=N, got {spec!r}")
-            capacity[gpu] = int(count)
-        groups = [_parse_tenant_group(s, args, generator) for s in args.tenants]
-        sim = ClusterSimulator(groups, ClusterInventory(capacity=capacity))
-        res = sim.run(duration_s=args.duration, warmup_s=args.warmup)
-    except (KeyError, ValueError) as exc:
+        if args.scenario:
+            spec = ScenarioSpec.load(args.scenario)
+            if not spec.is_cluster:
+                raise ValueError(
+                    f"scenario {spec.name!r} has no tenants; run it with "
+                    "simulate --scenario"
+                )
+            # Build + run inside the handler (an initial allocation that
+            # does not fit the inventory is a user error); conservation
+            # is verified outside it, like the flag path below.
+            sim = spec.build_cluster()
+            res = sim.run(duration_s=spec.duration_s, warmup_s=spec.warmup_s)
+        else:
+            if not args.tenants or not args.capacity:
+                raise ValueError(
+                    "cluster-sim needs --tenant and --capacity (or --scenario)"
+                )
+            traces = _load_or_make_traces(args)
+            generator = WorkloadGenerator.fit(traces)
+            capacity = {}
+            for item in args.capacity:
+                gpu, _, count = item.partition("=")
+                if not count:
+                    raise ValueError(f"capacity spec must be GPU=N, got {item!r}")
+                capacity[gpu] = int(count)
+            groups = [_parse_tenant_group(s, args, generator) for s in args.tenants]
+            sim = ClusterSimulator(groups, ClusterInventory(capacity=capacity))
+            res = sim.run(duration_s=args.duration, warmup_s=args.warmup)
+    except (KeyError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     # Outside the user-input error handler: a conservation violation is
@@ -834,13 +922,20 @@ def _cmd_recommend_elastic(args) -> int:
                 penalty_per_shed=args.penalty_per_shed,
             ),
         )
+        traffic_param = _traffic_param(args)
+        if args.traffic == "replay":
+            # Parse the recorded log once; every candidate replays the
+            # same in-memory ArrivalLog (ReplayTraffic never mutates it).
+            if not traffic_param:
+                raise ValueError("--traffic replay needs --arrivals FILE")
+            traffic_param = ArrivalLog.load(traffic_param)
         recommender = ElasticRecommender(
             deployment,
             # A fresh, identically seeded traffic model per candidate:
             # the sweep is a controlled experiment over one arrival log.
             lambda: _build_traffic(
                 args.traffic,
-                args.users if args.traffic == "closed" else args.rate,
+                traffic_param,
                 derive_rng(args.seed, "elastic-traffic", args.traffic),
                 args,
             ),
@@ -859,7 +954,7 @@ def _cmd_recommend_elastic(args) -> int:
             search_max=args.search_max,
             headroom=args.headroom,
         )
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.json:

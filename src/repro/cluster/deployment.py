@@ -201,6 +201,23 @@ class Deployment:
             pod_factory=self.pod_factory,
         )
 
+    def fleet(
+        self,
+        traffic: TrafficModel,
+        router: Router | None = None,
+        stream_label: object = "deployment",
+        autoscaler: Autoscaler | None = None,
+    ) -> FleetSimulator:
+        """A ready-to-run fleet over this deployment (not yet started).
+
+        :meth:`simulate` is this plus ``run``; callers that drive the
+        co-simulation interface themselves — or hand the fleet to a
+        scenario/cluster harness — use this to get the assembled
+        simulator (fresh pods, seeded workload stream, router and
+        optional autoscaler) without running it.
+        """
+        return self._make_fleet(traffic, router, stream_label, autoscaler)
+
     def simulate(
         self,
         traffic: TrafficModel,

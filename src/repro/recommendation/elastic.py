@@ -16,7 +16,12 @@ pod-second billing), so the recommendation layer can exploit it:
   candidates through :class:`~repro.simulation.fleet.FleetSimulator`
   under a caller-supplied traffic model — every candidate replays the
   identical seeded arrival process and workload stream, so the sweep is
-  a controlled experiment — and scores each with the objective;
+  a controlled experiment — and scores each with the objective. The
+  factory may return any open-loop model, including
+  :class:`~repro.simulation.replay.ReplayTraffic` over a recorded
+  arrival log: recommending against the traffic a platform *actually
+  saw* (CLI: ``recommend-elastic --traffic replay --arrivals FILE``)
+  rather than a synthetic stand-in;
 * the :class:`ElasticRecommendation` carries the full
   pod-hours-vs-SLO-penalty trade curve (:class:`TradePoint` per
   candidate, including the static sizing ladder), the chosen config and
@@ -161,9 +166,11 @@ class CostObjective:
         return result.pod_hours * self.pricing.pod_cost(profile)
 
     def slo_penalty(self, result: FleetResult) -> float:
+        """The penalty function's charge for the run, in dollars."""
         return float(self.penalty(result))
 
     def total(self, result: FleetResult, profile) -> float:
+        """Full score of the run: compute bill plus SLO penalty."""
         return self.compute_cost(result, profile) + self.slo_penalty(result)
 
 
@@ -195,6 +202,7 @@ class ElasticCandidate:
 
     @property
     def label(self) -> str:
+        """Human-readable tag, e.g. ``threshold[1..6]`` or ``static[4]``."""
         if self.make_policy is None:
             return f"static[{self.min_pods}]"
         return f"{self.policy}[{self.min_pods}..{self.max_pods}]"
@@ -222,6 +230,7 @@ class TradePoint:
 
     @property
     def label(self) -> str:
+        """Human-readable tag matching the candidate that produced it."""
         if self.policy == "static":
             return f"static[{self.min_pods}]"
         return f"{self.policy}[{self.min_pods}..{self.max_pods}]"
@@ -274,15 +283,18 @@ class ElasticRecommendation:
 
     @property
     def savings_fraction(self) -> float:
+        """Savings as a fraction of the static baseline's cost."""
         if self.static.total_cost <= 0:
             return 0.0
         return self.savings / self.static.total_cost
 
     @property
     def meets_slo(self) -> bool:
+        """Did the chosen configuration keep the p95 TTFT inside the SLO?"""
         return self.chosen.meets_slo
 
     def as_dict(self) -> dict:
+        """JSON-ready view of the recommendation and its trade curve."""
         return {
             "profile": self.profile,
             "slo_p95_ttft_s": self.slo_p95_ttft_s,

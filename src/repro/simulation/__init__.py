@@ -4,7 +4,11 @@ shared-clock fleet simulation with pluggable routing.
 This package is the substrate under the characterization harness
 (single-pod load tests), the cluster layer (multi-pod deployments,
 multi-tenant co-simulation) and the ``repro-pilot simulate`` /
-``cluster-sim`` CLIs: one event loop, many scenarios.
+``cluster-sim`` CLIs: one event loop, many scenarios. Arrivals come
+from synthetic :mod:`~repro.simulation.traffic` models or from recorded
+arrival logs replayed by :mod:`~repro.simulation.replay`, and whole
+experiments — fleet or cluster — are expressible as declarative
+:mod:`~repro.simulation.scenario` specs runnable from one config file.
 """
 
 from repro.simulation.metrics import LatencyStats, MetricsCollector
@@ -23,12 +27,14 @@ from repro.simulation.fleet import (
     RoundRobinRouter,
     LeastLoadedRouter,
     JoinShortestQueueRouter,
+    WeightAwareRouter,
     ROUTERS,
     ScaleEvent,
     PodStats,
     FleetResult,
     FleetSimulator,
 )
+from repro.simulation.replay import ArrivalLog, ReplayTraffic
 from repro.simulation.autoscale import (
     AUTOSCALE_POLICIES,
     AdmissionController,
@@ -48,8 +54,14 @@ from repro.simulation.cluster import (
     InventoryEvent,
     TenantGroup,
 )
+from repro.simulation.scenario import ScenarioSpec, load_scenario
 
 __all__ = [
+    "ArrivalLog",
+    "ReplayTraffic",
+    "ScenarioSpec",
+    "load_scenario",
+    "WeightAwareRouter",
     "ClusterInventory",
     "ClusterResult",
     "ClusterSimulator",

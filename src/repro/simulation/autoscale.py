@@ -107,6 +107,7 @@ class AutoscalePolicy:
     name: str = "policy"
 
     def desired_pods(self, view: FleetView) -> int:
+        """The pod count this policy wants, given the observed view."""
         raise NotImplementedError
 
     def reset(self) -> None:
@@ -307,6 +308,7 @@ class Autoscaler:
         return max(self.config.min_pods, min(self.config.max_pods, desired))
 
     def reset(self) -> None:
+        """Forget policy state before a fresh run."""
         self.policy.reset()
 
 
@@ -371,6 +373,7 @@ class AdmissionController(Router):
         return f"admission({self.inner.name})"
 
     def reset(self) -> None:
+        """Forget admission and inner-router state before a fresh run."""
         self.inner.reset()
         self.admitted = 0
         self.shed = 0

@@ -92,9 +92,11 @@ class ClusterInventory:
             self.used.setdefault(name, 0)
 
     def available(self, gpu_name: str) -> int:
+        """GPUs of this type not currently allocated."""
         return self.capacity.get(gpu_name, 0) - self.used.get(gpu_name, 0)
 
     def can_fit(self, profile_name: str, pods: int) -> bool:
+        """Would ``pods`` pods of ``profile_name`` fit the remaining stock?"""
         profile = parse_profile(profile_name)
         return self.available(profile.gpu.name) >= profile.count * pods
 
@@ -111,6 +113,12 @@ class ClusterInventory:
         time_s: float = 0.0,
         reason: str = "static",
     ) -> None:
+        """Take ``pods`` pods' worth of GPUs (raises when it cannot fit).
+
+        With a ``tenant`` the allocation is stamped with ``time_s`` and
+        logged as an :class:`InventoryEvent`; anonymous calls (the
+        scheduler's packing search) mutate the ledger silently.
+        """
         profile = parse_profile(profile_name)
         need = profile.count * pods
         if self.available(profile.gpu.name) < need:
@@ -132,6 +140,7 @@ class ClusterInventory:
         time_s: float = 0.0,
         reason: str = "static",
     ) -> None:
+        """Hand back ``pods`` pods' worth of GPUs (the inverse of allocate)."""
         profile = parse_profile(profile_name)
         need = profile.count * pods
         if self.used.get(profile.gpu.name, 0) < need:
@@ -143,6 +152,7 @@ class ClusterInventory:
             )
 
     def utilization(self) -> dict[str, float]:
+        """Fraction of each GPU type's capacity currently in use."""
         return {
             name: (self.used.get(name, 0) / cap if cap else 0.0)
             for name, cap in self.capacity.items()
@@ -189,10 +199,12 @@ class ClusterResult:
 
     @property
     def pod_seconds_total(self) -> float:
+        """Provisioned pod-seconds summed over every tenant."""
         return sum(r.pod_seconds for r in self.results.values())
 
     @property
     def arrivals_total(self) -> int:
+        """Requests offered to the cluster, summed over every tenant."""
         return sum(r.arrivals for r in self.results.values())
 
     def contended_scale_events(self) -> list[tuple[str, ScaleEvent]]:
@@ -213,6 +225,7 @@ class ClusterResult:
         return out
 
     def total_cost(self, pricing: PricingTable) -> float:
+        """The whole cluster's bill for the simulated window."""
         return sum(self.cost(pricing).values())
 
     def occupancy_series(self, gpu_name: str) -> tuple[np.ndarray, np.ndarray]:

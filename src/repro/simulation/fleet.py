@@ -48,6 +48,7 @@ __all__ = [
     "RoundRobinRouter",
     "LeastLoadedRouter",
     "JoinShortestQueueRouter",
+    "WeightAwareRouter",
     "ROUTERS",
     "ScaleEvent",
     "PodStats",
@@ -119,11 +120,106 @@ class JoinShortestQueueRouter(Router):
         )
 
 
+class WeightAwareRouter(Router):
+    """Route on estimated request cost: isolate heavy requests.
+
+    Queue-depth routing (JSQ) treats a 4000-token summarization request
+    and a 20-token lookup as equal units, so under heavy-tailed request
+    sizes — exactly what replayed production traces exhibit — light
+    requests end up queued behind elephants and the TTFT tail blows up.
+    This router uses the per-request weight the arrival carries (for
+    trace replay, the *recorded* token counts): requests above an
+    online threshold are confined to a dedicated heavy tier (the
+    ``heavy_pod_fraction`` of the fleet with the highest pod indices)
+    while light requests keep the rest — size-interval assignment.
+    The threshold is learned from a trailing window of observed weights
+    so that the heavy tier's *share of total token weight* matches its
+    share of pods (SITA-E balancing): the few elephants above it load
+    their tier exactly as much as the many mice load theirs, and the
+    count-p95 of latency sits safely inside the protected light tier.
+    Within a tier, the pod with the least committed token weight wins,
+    so each tier is itself least-loaded.
+
+    Until ``warmup`` arrivals have been observed (or when the fleet has
+    a single pod) the router degrades to plain least-loaded: with no
+    weight history there is no defensible threshold.
+    """
+
+    name = "weight-aware"
+
+    def __init__(
+        self,
+        heavy_pod_fraction: float = 0.25,
+        warmup: int = 64,
+        window: int = 512,
+    ) -> None:
+        if not 0.0 < heavy_pod_fraction < 1.0:
+            raise ValueError(
+                f"heavy_pod_fraction must be in (0, 1), got {heavy_pod_fraction}"
+            )
+        if warmup < 1 or window < 1:
+            raise ValueError("warmup and window must be >= 1")
+        self.heavy_pod_fraction = float(heavy_pod_fraction)
+        self.warmup = int(warmup)
+        self.window = int(window)
+        self._weights: list[int] = []
+        self._seen = 0
+
+    @staticmethod
+    def _least_loaded(candidates: list[int], pods) -> int:
+        return min(
+            candidates,
+            key=lambda i: (pods[i].batch_weight_in_use + pods[i].pending_weight, i),
+        )
+
+    def _threshold(self, heavy_share: float) -> float:
+        """Weight above which the top tail carries ``heavy_share`` of load.
+
+        Splits the windowed weights so the heaviest requests summing to
+        ``heavy_share`` of total token weight sit strictly above the
+        returned threshold — the SITA-E cutoff for the current mix. The
+        threshold is the largest weight still inside the light group.
+        """
+        ordered = np.sort(np.asarray(self._weights, dtype=np.float64))
+        cumulative = np.cumsum(ordered)
+        light_target = (1.0 - heavy_share) * cumulative[-1]
+        index = max(int(np.searchsorted(cumulative, light_target)), 1)
+        return float(ordered[index - 1])
+
+    def route(self, request, arrival_time, pods) -> int:
+        weight = request.weight
+        self._seen += 1
+        self._weights.append(weight)
+        if len(self._weights) > self.window:
+            del self._weights[0]
+        if len(pods) < 2 or self._seen < self.warmup:
+            return self._least_loaded(list(range(len(pods))), pods)
+        n_heavy = max(1, round(self.heavy_pod_fraction * len(pods)))
+        n_heavy = min(n_heavy, len(pods) - 1)
+        threshold = self._threshold(n_heavy / len(pods))
+        if threshold >= max(self._weights):
+            # Degenerate window (near-constant weights): no request
+            # would classify as heavy, so tiering would idle the heavy
+            # pods. Fall back to fleet-wide least-loaded.
+            return self._least_loaded(list(range(len(pods))), pods)
+        # The heavy tier sits at the top of the pod list; under
+        # autoscaling that is the newest pods, which also drain first.
+        split = len(pods) - n_heavy
+        if weight > threshold:
+            return self._least_loaded(list(range(split, len(pods))), pods)
+        return self._least_loaded(list(range(split)), pods)
+
+    def reset(self) -> None:
+        self._weights = []
+        self._seen = 0
+
+
 #: Router registry for CLIs and benchmarks.
 ROUTERS: dict[str, type[Router]] = {
     RoundRobinRouter.name: RoundRobinRouter,
     LeastLoadedRouter.name: LeastLoadedRouter,
     JoinShortestQueueRouter.name: JoinShortestQueueRouter,
+    WeightAwareRouter.name: WeightAwareRouter,
 }
 
 

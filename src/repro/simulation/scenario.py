@@ -1,0 +1,527 @@
+"""Declarative scenario specs: a whole simulation from one config file.
+
+Every fleet and cluster experiment in this repo is the same handful of
+decisions — which LLM on which GPU profile, how many pods, what traffic,
+which router, admission control, autoscaling, and (for clusters) which
+tenants share which inventory. A :class:`ScenarioSpec` captures those
+decisions as one small declarative mapping (a Python dict, a JSON file,
+or a YAML file when PyYAML is installed) and builds the ready-to-run
+:class:`~repro.simulation.fleet.FleetSimulator` or
+:class:`~repro.simulation.cluster.ClusterSimulator` from it — so every
+benchmark and example scenario is a reviewable config artifact instead
+of a page of construction code, and ``repro-pilot simulate/cluster-sim
+--scenario FILE`` runs it end to end from the file alone.
+
+A minimal fleet scenario::
+
+    {"name": "replay-smoke",
+     "duration_s": 30.0,
+     "llm": "Llama-2-13b", "profile": "1xA100-40GB", "pods": 2,
+     "workload": {"requests": 5000},
+     "traffic": {"kind": "poisson", "rate_per_s": 2.0},
+     "router": "weight-aware"}
+
+``traffic.kind`` may be any synthetic model (``closed`` / ``poisson`` /
+``diurnal`` / ``bursty``) or ``replay``, which drives the run from a
+recorded arrival log (a CSV/JSONL path, inline ``arrivals`` rows, or a
+``trace`` ``.npz`` bridged through
+:meth:`~repro.simulation.replay.ArrivalLog.from_trace`) with time-warp,
+horizon and seeded-bootstrap knobs. Adding a ``tenants`` list (plus a
+GPU ``capacity`` map) turns the spec into a multi-tenant cluster
+co-simulation; tenant entries inherit the top-level fields they do not
+override. See ``docs/scenarios.md`` for the full reference.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.simulation.autoscale import (
+    AUTOSCALE_POLICIES,
+    AdmissionController,
+    Autoscaler,
+    AutoscaleConfig,
+    PredictivePolicy,
+    TargetUtilizationPolicy,
+    ThresholdPolicy,
+)
+from repro.simulation.fleet import ROUTERS, FleetResult, FleetSimulator, Router
+from repro.simulation.replay import ArrivalLog, ReplayTraffic
+from repro.simulation.traffic import (
+    BurstyTraffic,
+    ClosedLoopTraffic,
+    DiurnalTraffic,
+    PoissonTraffic,
+    TrafficModel,
+)
+from repro.utils.rng import derive_rng
+
+if TYPE_CHECKING:
+    from repro.simulation.cluster import ClusterResult, ClusterSimulator
+    from repro.workload.generator import WorkloadGenerator
+
+__all__ = ["ScenarioSpec", "load_scenario"]
+
+_TOP_KEYS = set(
+    "name seed duration_s warmup_s llm profile pods max_batch_weight "
+    "workload traffic router admission autoscaler slo_ttft_ms tenants "
+    "capacity".split()
+)
+_TENANT_KEYS = set(
+    "name llm profile pods max_batch_weight traffic router admission "
+    "autoscaler slo_ttft_ms".split()
+)
+_TRAFFIC_KEYS = {
+    "closed": {"users", "sticky"},
+    "poisson": {"rate_per_s"},
+    "diurnal": {"rate_per_s", "amplitude", "period_s", "phase_rad"},
+    "bursty": set("rate_per_s off_rate_per_s mean_on_s mean_off_s start_on".split()),
+    "replay": set(
+        "path arrivals trace llm tenant speedup rate_per_s horizon_s "
+        "bootstrap".split()
+    ),
+}
+_ADMISSION_KEYS = set("mode slo_ttft_ms window_s retry_delay_s max_defers".split())
+_AUTOSCALER_KEYS = set(
+    "policy min_pods max_pods interval_s cold_start_s metrics_window_s "
+    "slo_ttft_ms target requests_per_pod_per_s".split()
+)
+_WORKLOAD_KEYS = {"traces", "requests"}
+
+
+def _check_keys(mapping: dict, allowed: set[str], where: str) -> None:
+    unknown = set(mapping) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) in {where}: {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+@dataclass
+class ScenarioSpec:
+    """One validated scenario, ready to build and run.
+
+    Construct via :meth:`from_dict` (which validates every section and
+    raises ``ValueError`` naming the offending key) or :meth:`load`
+    (JSON or, when PyYAML is available, YAML files). ``tenants`` being
+    non-empty makes this a cluster scenario (:attr:`is_cluster`), in
+    which case ``capacity`` must name the finite GPU inventory.
+    """
+
+    name: str
+    duration_s: float
+    traffic: dict | None = None
+    seed: int = 0
+    warmup_s: float = 0.0
+    llm: str = "Llama-2-13b"
+    profile: str = "1xA100-40GB"
+    pods: int = 2
+    max_batch_weight: int = 12_000
+    workload: dict = field(default_factory=dict)
+    router: str | dict = "least-loaded"
+    admission: dict | None = None
+    autoscaler: dict | None = None
+    slo_ttft_ms: float | None = None
+    tenants: list[dict] = field(default_factory=list)
+    capacity: dict[str, int] = field(default_factory=dict)
+
+    # ---- construction -----------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "ScenarioSpec":
+        """Validate a raw mapping into a :class:`ScenarioSpec`."""
+        if not isinstance(spec, dict):
+            raise ValueError(f"scenario spec must be a mapping, got {type(spec)}")
+        _check_keys(spec, _TOP_KEYS, "scenario")
+        if "duration_s" not in spec:
+            raise ValueError("scenario needs a duration_s")
+        out = cls(
+            name=str(spec.get("name", "scenario")),
+            duration_s=float(spec["duration_s"]),
+            traffic=spec.get("traffic"),
+            seed=int(spec.get("seed", 0)),
+            warmup_s=float(spec.get("warmup_s", 0.0)),
+            llm=str(spec.get("llm", cls.llm)),
+            profile=str(spec.get("profile", cls.profile)),
+            pods=int(spec.get("pods", cls.pods)),
+            max_batch_weight=int(spec.get("max_batch_weight", cls.max_batch_weight)),
+            workload=dict(spec.get("workload") or {}),
+            router=spec.get("router", "least-loaded"),
+            admission=spec.get("admission"),
+            autoscaler=spec.get("autoscaler"),
+            slo_ttft_ms=(float(spec["slo_ttft_ms"]) if "slo_ttft_ms" in spec else None),
+            tenants=[dict(t) for t in spec.get("tenants") or []],
+            capacity={str(k): int(v) for k, v in (spec.get("capacity") or {}).items()},
+        )
+        out._validate()
+        return out
+
+    @classmethod
+    def load(cls, path: str) -> "ScenarioSpec":
+        """Parse a scenario file: ``.json`` always, ``.yaml``/``.yml``
+        when PyYAML is importable (a clear error otherwise)."""
+        with open(path) as fh:
+            text = fh.read()
+        if path.endswith((".yaml", ".yml")):
+            try:
+                import yaml
+            except ImportError as exc:  # pragma: no cover - env dependent
+                raise ValueError(
+                    f"{path!r} is a YAML scenario but PyYAML is not "
+                    "installed; use a .json spec or install pyyaml"
+                ) from exc
+            raw = yaml.safe_load(text)
+        else:
+            raw = json.loads(text)
+        return cls.from_dict(raw)
+
+    def _validate(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.warmup_s < 0:
+            raise ValueError(f"warmup_s must be >= 0, got {self.warmup_s}")
+        if self.pods < 1:
+            raise ValueError(f"pods must be >= 1, got {self.pods}")
+        _check_keys(self.workload, _WORKLOAD_KEYS, "workload")
+        if self.tenants:
+            if not self.capacity:
+                raise ValueError("a cluster scenario (tenants) needs a capacity map")
+            names = []
+            for tenant in self.tenants:
+                _check_keys(tenant, _TENANT_KEYS, "tenant")
+                if "name" not in tenant:
+                    raise ValueError("every tenant needs a name")
+                names.append(tenant["name"])
+                self._validate_traffic(
+                    tenant.get("traffic", self.traffic), f"tenant {tenant['name']!r}"
+                )
+            if len(set(names)) != len(names):
+                raise ValueError(f"duplicate tenant names: {names}")
+        else:
+            self._validate_traffic(self.traffic, "scenario")
+        for section in (self.admission, *(t.get("admission") for t in self.tenants)):
+            if section is not None:
+                _check_keys(section, _ADMISSION_KEYS, "admission")
+        for section in (self.autoscaler, *(t.get("autoscaler") for t in self.tenants)):
+            if section is not None:
+                _check_keys(section, _AUTOSCALER_KEYS, "autoscaler")
+                policy = section.get("policy", "threshold")
+                if policy not in AUTOSCALE_POLICIES:
+                    raise ValueError(
+                        f"unknown autoscaler policy {policy!r}; "
+                        f"known: {sorted(AUTOSCALE_POLICIES)}"
+                    )
+        for router in (self.router, *(t.get("router") for t in self.tenants)):
+            if router is None:
+                continue
+            kind = router.get("kind") if isinstance(router, dict) else router
+            if kind not in ROUTERS:
+                raise ValueError(f"unknown router {kind!r}; known: {sorted(ROUTERS)}")
+            if isinstance(router, dict):
+                accepted = set(
+                    inspect.signature(ROUTERS[kind].__init__).parameters
+                ) - {"self"}
+                _check_keys(
+                    {k: v for k, v in router.items() if k != "kind"},
+                    accepted,
+                    f"router[{kind}]",
+                )
+
+    @staticmethod
+    def _validate_traffic(traffic: dict | None, where: str) -> None:
+        if not isinstance(traffic, dict) or "kind" not in traffic:
+            raise ValueError(f"{where} needs a traffic mapping with a 'kind'")
+        kind = traffic["kind"]
+        if kind not in _TRAFFIC_KEYS:
+            raise ValueError(
+                f"unknown traffic kind {kind!r} in {where}; "
+                f"known: {sorted(_TRAFFIC_KEYS)}"
+            )
+        _check_keys(
+            {k: v for k, v in traffic.items() if k != "kind"},
+            _TRAFFIC_KEYS[kind],
+            f"{where} traffic[{kind}]",
+        )
+        if kind == "closed" and "users" not in traffic:
+            raise ValueError(f"closed-loop traffic in {where} needs 'users'")
+        if kind != "closed" and kind != "replay" and "rate_per_s" not in traffic:
+            raise ValueError(f"{kind} traffic in {where} needs 'rate_per_s'")
+        if kind == "replay":
+            sources = [k for k in ("path", "arrivals", "trace") if k in traffic]
+            if len(sources) != 1:
+                raise ValueError(
+                    f"replay traffic in {where} needs exactly one of "
+                    f"'path', 'arrivals' or 'trace', got {sources or 'none'}"
+                )
+            if "llm" in traffic and "trace" not in traffic:
+                raise ValueError(
+                    f"replay 'llm' in {where} only applies to a 'trace' "
+                    "source (CSV/JSONL logs are already per-service)"
+                )
+
+    @property
+    def is_cluster(self) -> bool:
+        """True when this spec describes a multi-tenant co-simulation."""
+        return bool(self.tenants)
+
+    # ---- builders ---------------------------------------------------------
+
+    def build_generator(self) -> "WorkloadGenerator":
+        """The workload generator behind every synthetic request draw.
+
+        Fitted to the ``workload.traces`` ``.npz`` collection when given,
+        else to a freshly synthesized trace of ``workload.requests``
+        (default 50k) rows under the scenario seed — so a spec file with
+        no side files is still fully self-contained.
+        """
+        from repro.traces import TraceConfig, TraceDataset, TraceSynthesizer
+        from repro.workload.generator import WorkloadGenerator
+
+        if self.workload.get("traces"):
+            traces = TraceDataset.load(self.workload["traces"])
+        else:
+            config = TraceConfig(n_requests=int(self.workload.get("requests", 50_000)))
+            traces = TraceSynthesizer(config=config, seed=self.seed).generate()
+        return WorkloadGenerator.fit(traces)
+
+    def build_traffic(
+        self, traffic: dict | None = None, label: str = ""
+    ) -> TrafficModel:
+        """One traffic model from a traffic mapping (seeded per label)."""
+        traffic = dict(self.traffic if traffic is None else traffic)
+        kind = traffic.pop("kind")
+        rng = derive_rng(self.seed, "scenario-traffic", label, kind)
+        if kind == "closed":
+            return ClosedLoopTraffic(
+                int(traffic["users"]), sticky=bool(traffic.get("sticky", True))
+            )
+        if kind == "poisson":
+            return PoissonTraffic(float(traffic["rate_per_s"]), rng=rng)
+        if kind == "diurnal":
+            return DiurnalTraffic(
+                float(traffic["rate_per_s"]),
+                rng=rng,
+                amplitude=float(traffic.get("amplitude", 0.8)),
+                period_s=float(traffic.get("period_s", 600.0)),
+                phase_rad=float(traffic.get("phase_rad", 0.0)),
+            )
+        if kind == "bursty":
+            return BurstyTraffic(
+                float(traffic["rate_per_s"]),
+                rng=rng,
+                off_rate_per_s=float(traffic.get("off_rate_per_s", 0.0)),
+                mean_on_s=float(traffic.get("mean_on_s", 20.0)),
+                mean_off_s=float(traffic.get("mean_off_s", 40.0)),
+                start_on=bool(traffic.get("start_on", True)),
+            )
+        return self._build_replay(traffic, label)
+
+    def _build_replay(self, traffic: dict, label: str) -> ReplayTraffic:
+        """Replay traffic: load the log, then apply the spec's transforms."""
+        if "path" in traffic:
+            log = ArrivalLog.load(traffic["path"])
+        elif "arrivals" in traffic:
+            rows = traffic["arrivals"]
+            log = ArrivalLog.from_columns(
+                {
+                    "timestamp": [r[0] for r in rows],
+                    "input_tokens": [r[1] for r in rows],
+                    "output_tokens": [r[2] for r in rows],
+                    "batch_size": [r[3] if len(r) > 3 else 1 for r in rows],
+                }
+            )
+        else:
+            from repro.traces import TraceDataset
+
+            log = ArrivalLog.from_trace(
+                TraceDataset.load(traffic["trace"]), llm=traffic.get("llm")
+            )
+        if traffic.get("tenant") is not None:
+            log = log.for_tenant(traffic["tenant"])
+        if traffic.get("bootstrap") is not None:
+            boot = dict(traffic["bootstrap"])
+            _check_keys(boot, {"n", "rate_per_s", "seed"}, "replay bootstrap")
+            log = log.bootstrap(
+                int(boot["n"]),
+                rng=derive_rng(
+                    int(boot.get("seed", self.seed)), "scenario-bootstrap", label
+                ),
+                rate_per_s=boot.get("rate_per_s"),
+            )
+        if traffic.get("rate_per_s") is not None:
+            log = log.warp_to_rate(float(traffic["rate_per_s"]))
+        return ReplayTraffic(
+            log,
+            speedup=float(traffic.get("speedup", 1.0)),
+            horizon_s=traffic.get("horizon_s"),
+        )
+
+    def _build_router(self, router: str | dict | None) -> Router:
+        spec = self.router if router is None else router
+        if isinstance(spec, dict):
+            kwargs = {k: v for k, v in spec.items() if k != "kind"}
+            return ROUTERS[spec["kind"]](**kwargs)
+        return ROUTERS[spec]()
+
+    def _default_slo_ms(self) -> float:
+        """SLO the admission/threshold sections fall back to.
+
+        The spec-level ``slo_ttft_ms`` (when given) drives shedding and
+        threshold scaling too — one number, like the CLI's
+        ``--slo-ttft-ms`` — so the fleet protects the SLO it reports on.
+        """
+        return 2000.0 if self.slo_ttft_ms is None else float(self.slo_ttft_ms)
+
+    def _wrap_admission(self, router: Router, admission: dict | None) -> Router:
+        if admission is None:
+            return router
+        return AdmissionController(
+            router,
+            slo_p95_ttft_s=float(admission.get("slo_ttft_ms", self._default_slo_ms()))
+            / 1e3,
+            window_s=float(admission.get("window_s", 30.0)),
+            mode=admission.get("mode", "shed"),
+            retry_delay_s=float(admission.get("retry_delay_s", 5.0)),
+            max_defers=int(admission.get("max_defers", 3)),
+        )
+
+    def _build_autoscaler(self, section: dict | None) -> Autoscaler | None:
+        if section is None:
+            return None
+        policy_name = section.get("policy", "threshold")
+        if policy_name == "threshold":
+            policy = ThresholdPolicy(
+                slo_p95_ttft_s=float(section.get("slo_ttft_ms", self._default_slo_ms()))
+                / 1e3
+            )
+        elif policy_name == "target-utilization":
+            policy = TargetUtilizationPolicy(target=float(section.get("target", 0.6)))
+        elif policy_name == "predictive":
+            policy = PredictivePolicy(
+                requests_per_pod_per_s=float(
+                    section.get("requests_per_pod_per_s", 2.0)
+                ),
+                horizon_s=float(section.get("cold_start_s", 10.0)),
+            )
+        else:
+            policy = AUTOSCALE_POLICIES[policy_name]()
+        return Autoscaler(
+            policy,
+            AutoscaleConfig(
+                decision_interval_s=float(section.get("interval_s", 15.0)),
+                min_pods=int(section.get("min_pods", 1)),
+                max_pods=int(section.get("max_pods", 16)),
+                cold_start_s=float(section.get("cold_start_s", 10.0)),
+                metrics_window_s=float(section.get("metrics_window_s", 30.0)),
+            ),
+        )
+
+    def _deployment(
+        self, generator, llm: str, profile: str, pods: int, max_batch_weight: int
+    ):
+        from repro.cluster.deployment import Deployment
+        from repro.hardware.profile import parse_profile
+        from repro.models import get_llm
+
+        return Deployment(
+            llm=get_llm(llm),
+            profile=parse_profile(profile),
+            n_pods=pods,
+            max_batch_weight=max_batch_weight,
+            generator=generator,
+            seed=self.seed,
+        )
+
+    def build_fleet(self, generator=None) -> FleetSimulator:
+        """The single-tenant form: one ready-to-run fleet simulator."""
+        if self.is_cluster:
+            raise ValueError(
+                f"scenario {self.name!r} declares tenants; build_cluster() "
+                "is the entry point for cluster scenarios"
+            )
+        generator = generator or self.build_generator()
+        deployment = self._deployment(
+            generator, self.llm, self.profile, self.pods, self.max_batch_weight
+        )
+        router = self._wrap_admission(self._build_router(None), self.admission)
+        return deployment.fleet(
+            self.build_traffic(label=self.name),
+            router=router,
+            stream_label=self.name,
+            autoscaler=self._build_autoscaler(self.autoscaler),
+        )
+
+    def build_cluster(self, generator=None) -> "ClusterSimulator":
+        """The multi-tenant form: tenants contending for one inventory.
+
+        Tenant entries inherit every top-level field they do not
+        override (llm, profile, pods, traffic, router, admission,
+        autoscaler, slo_ttft_ms, max_batch_weight).
+        """
+        from repro.simulation.cluster import ClusterInventory, ClusterSimulator
+
+        if not self.is_cluster:
+            raise ValueError(
+                f"scenario {self.name!r} has no tenants; build_fleet() "
+                "is the entry point for single-fleet scenarios"
+            )
+        generator = generator or self.build_generator()
+        groups = []
+        for tenant in self.tenants:
+            deployment = self._deployment(
+                generator,
+                tenant.get("llm", self.llm),
+                tenant.get("profile", self.profile),
+                int(tenant.get("pods", self.pods)),
+                int(tenant.get("max_batch_weight", self.max_batch_weight)),
+            )
+            router = self._wrap_admission(
+                self._build_router(tenant.get("router", self.router)),
+                tenant.get("admission", self.admission),
+            )
+            slo_ms = tenant.get("slo_ttft_ms", self.slo_ttft_ms)
+            groups.append(
+                deployment.tenant_group(
+                    tenant["name"],
+                    self.build_traffic(
+                        tenant.get("traffic", self.traffic), label=tenant["name"]
+                    ),
+                    router=router,
+                    autoscaler=self._build_autoscaler(
+                        tenant.get("autoscaler", self.autoscaler)
+                    ),
+                    slo_p95_ttft_s=None if slo_ms is None else float(slo_ms) / 1e3,
+                )
+            )
+        return ClusterSimulator(groups, ClusterInventory(capacity=dict(self.capacity)))
+
+    def run(self, keep_samples: bool = False) -> "FleetResult | ClusterResult":
+        """Build and run the scenario; conservation-checked result.
+
+        Returns a :class:`~repro.simulation.fleet.FleetResult` for fleet
+        scenarios and a :class:`~repro.simulation.cluster.ClusterResult`
+        for cluster scenarios.
+        """
+        if self.is_cluster:
+            result = self.build_cluster().run(
+                duration_s=self.duration_s,
+                warmup_s=self.warmup_s,
+                keep_samples=keep_samples,
+            )
+        else:
+            result = self.build_fleet().run(
+                duration_s=self.duration_s,
+                warmup_s=self.warmup_s,
+                keep_samples=keep_samples,
+            )
+        result.verify_conservation()
+        return result
+
+
+def load_scenario(path: str) -> ScenarioSpec:
+    """Module-level alias for :meth:`ScenarioSpec.load` (CLI entry)."""
+    return ScenarioSpec.load(path)

@@ -151,6 +151,55 @@ class TraceDataset:
             "n_additional_params": n_extra,
         }
 
+    # ---- simulation bridge ------------------------------------------------
+
+    def to_arrivals(
+        self,
+        llm: str | int | None = None,
+        start_s: float | None = None,
+        duration_s: float | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Normalized arrival-log columns for trace-replay simulation.
+
+        Selects the requests serviced by ``llm`` (a name from
+        :attr:`llm_names` or an index; ``None``: the whole platform),
+        optionally windowed to ``[start_s, start_s + duration_s)`` of
+        absolute trace time, and returns the columns a
+        :class:`~repro.simulation.replay.ArrivalLog` is built from:
+        ``timestamp`` (sorted, rebased so the first arrival is at 0),
+        ``input_tokens``, ``output_tokens``, ``batch_size`` and
+        ``user_id`` (the per-user session identity).
+        """
+        mask = np.ones(len(self), dtype=bool)
+        if llm is not None:
+            if isinstance(llm, str):
+                if llm not in self.llm_names:
+                    raise KeyError(f"unknown LLM {llm!r}; see llm_names")
+                llm = self.llm_names.index(llm)
+            if "llm_index" not in self.columns:
+                raise ValueError("trace dataset has no llm_index column")
+            mask &= self.columns["llm_index"] == int(llm)
+        ts = self.columns["timestamp"]
+        if start_s is not None:
+            mask &= ts >= start_s
+        if duration_s is not None:
+            mask &= ts < (start_s or 0.0) + duration_s
+        subset = self.select(mask)
+        order = np.argsort(subset.columns["timestamp"], kind="stable")
+        ts = subset.columns["timestamp"][order]
+        batch = (
+            subset.columns["batch_size"][order]
+            if "batch_size" in subset.columns
+            else np.ones(order.size, dtype=np.int32)
+        )
+        return {
+            "timestamp": ts - (ts[0] if ts.size else 0.0),
+            "input_tokens": subset.columns["input_tokens"][order],
+            "output_tokens": subset.columns["output_tokens"][order],
+            "batch_size": batch,
+            "user_id": subset.columns["user_id"][order],
+        }
+
     # ---- persistence ------------------------------------------------------
 
     def save(self, path: str) -> None:

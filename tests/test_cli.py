@@ -51,13 +51,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["recommend-elastic", "--penalty", "cubic"])
 
-    def test_cluster_sim_requires_tenant_and_capacity(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["cluster-sim"])
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["cluster-sim", "--tenant", "a:Llama-2-7b:1xT4-16GB:1:poisson:1"]
-            )
+    def test_cluster_sim_requires_tenant_and_capacity(self, capsys):
+        # Tenants/capacity moved to runtime validation so that
+        # --scenario FILE can replace them wholesale.
+        rc = main(["cluster-sim"])
+        assert rc == 2
+        assert "--tenant and --capacity" in capsys.readouterr().err
+        rc = main(
+            ["cluster-sim", "--tenant", "a:Llama-2-7b:1xT4-16GB:1:poisson:1"]
+        )
+        assert rc == 2
+        assert "--tenant and --capacity" in capsys.readouterr().err
+
+    def test_simulate_replay_requires_arrivals(self, capsys):
+        rc = main(["simulate", "--traffic", "replay", "--requests", "3000"])
+        assert rc == 2
+        assert "--arrivals" in capsys.readouterr().err
 
 
 class TestCommands:

@@ -1,0 +1,65 @@
+"""The docs layer is load-bearing: links resolve, snippets execute.
+
+Mirrors the CI docs job inside the tier-1 suite so a broken doc link or
+a drifted scenario snippet fails locally too, not just in CI.
+"""
+
+import doctest
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_exist():
+    for name in ("architecture.md", "scenarios.md", "cli.md"):
+        assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} missing"
+
+
+def test_intra_repo_links_resolve():
+    check_docs = _load_check_docs()
+    problems = []
+    for doc in check_docs.doc_files():
+        problems.extend(check_docs.broken_links(doc))
+    assert not problems, "\n".join(problems)
+
+
+def test_link_checker_catches_breakage(tmp_path):
+    check_docs = _load_check_docs()
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "[ok](doc.md) [web](https://example.com) [bad](no-such-file.md)"
+    )
+    problems = check_docs.broken_links(doc)
+    assert len(problems) == 1 and "no-such-file.md" in problems[0]
+
+
+def test_scenario_snippets_execute():
+    """Every ``>>>`` snippet in docs/scenarios.md runs and matches."""
+    failures, tests = doctest.testfile(
+        str(REPO_ROOT / "docs" / "scenarios.md"),
+        module_relative=False,
+        verbose=False,
+    )
+    assert tests > 0, "docs/scenarios.md lost its executable snippets"
+    assert failures == 0
+
+
+def test_check_docs_main_exits_clean(capsys):
+    check_docs = _load_check_docs()
+    assert check_docs.main() == 0
+    assert "docs OK" in capsys.readouterr().out
+
+
+if __name__ == "__main__":
+    sys.exit(0)

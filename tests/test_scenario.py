@@ -1,0 +1,321 @@
+"""Tests for declarative scenario specs and their CLI entry points."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.simulation import (
+    AdmissionController,
+    BurstyTraffic,
+    ClosedLoopTraffic,
+    ClusterSimulator,
+    DiurnalTraffic,
+    FleetSimulator,
+    PoissonTraffic,
+    ReplayTraffic,
+    ScenarioSpec,
+    load_scenario,
+)
+
+REPLAY_ARRIVALS = [[0.0, 16, 8], [0.5, 64, 32], [1.0, 2048, 256], [2.0, 32, 8]]
+
+
+def fleet_spec(**overrides):
+    spec = {
+        "name": "fleet-test",
+        "duration_s": 15.0,
+        "llm": "Llama-2-7b",
+        "profile": "1xA10-24GB",
+        "pods": 2,
+        "workload": {"requests": 3000},
+        "traffic": {"kind": "replay", "arrivals": REPLAY_ARRIVALS},
+        "router": "weight-aware",
+    }
+    spec.update(overrides)
+    return spec
+
+
+def cluster_spec(**overrides):
+    spec = {
+        "name": "cluster-test",
+        "duration_s": 15.0,
+        "llm": "Llama-2-7b",
+        "profile": "1xA10-24GB",
+        "pods": 1,
+        "workload": {"requests": 3000},
+        "capacity": {"A10-24GB": 3},
+        "tenants": [
+            {"name": "chat", "traffic": {"kind": "poisson", "rate_per_s": 1.0}},
+            {
+                "name": "batch",
+                "traffic": {"kind": "replay", "arrivals": REPLAY_ARRIVALS},
+            },
+        ],
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestValidation:
+    def test_requires_duration(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            ScenarioSpec.from_dict({"name": "x", "traffic": {"kind": "poisson"}})
+
+    def test_rejects_unknown_top_level_key(self):
+        with pytest.raises(ValueError, match="unknown key.*frobnicate"):
+            ScenarioSpec.from_dict(fleet_spec(frobnicate=1))
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(ValueError, match="mapping"):
+            ScenarioSpec.from_dict([1, 2, 3])
+
+    def test_requires_traffic_kind(self):
+        with pytest.raises(ValueError, match="traffic mapping with a 'kind'"):
+            ScenarioSpec.from_dict(fleet_spec(traffic={"rate_per_s": 1.0}))
+
+    def test_rejects_unknown_traffic_kind(self):
+        with pytest.raises(ValueError, match="unknown traffic kind"):
+            ScenarioSpec.from_dict(fleet_spec(traffic={"kind": "warp-drive"}))
+
+    def test_rejects_unknown_traffic_key(self):
+        with pytest.raises(ValueError, match="traffic\\[poisson\\]"):
+            ScenarioSpec.from_dict(
+                fleet_spec(traffic={"kind": "poisson", "rate_per_s": 1, "users": 2})
+            )
+
+    def test_closed_needs_users(self):
+        with pytest.raises(ValueError, match="needs 'users'"):
+            ScenarioSpec.from_dict(fleet_spec(traffic={"kind": "closed"}))
+
+    def test_rate_traffic_needs_rate(self):
+        with pytest.raises(ValueError, match="needs 'rate_per_s'"):
+            ScenarioSpec.from_dict(fleet_spec(traffic={"kind": "bursty"}))
+
+    def test_replay_needs_exactly_one_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ScenarioSpec.from_dict(fleet_spec(traffic={"kind": "replay"}))
+        with pytest.raises(ValueError, match="exactly one"):
+            ScenarioSpec.from_dict(
+                fleet_spec(
+                    traffic={
+                        "kind": "replay",
+                        "path": "x.csv",
+                        "arrivals": REPLAY_ARRIVALS,
+                    }
+                )
+            )
+
+    def test_rejects_unknown_router(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            ScenarioSpec.from_dict(fleet_spec(router="random"))
+
+    def test_rejects_unknown_router_kwargs(self):
+        with pytest.raises(ValueError, match="router\\[weight-aware\\].*warmupp"):
+            ScenarioSpec.from_dict(
+                fleet_spec(router={"kind": "weight-aware", "warmupp": 10})
+            )
+        # Valid constructor kwargs pass and reach the router.
+        spec = ScenarioSpec.from_dict(
+            fleet_spec(router={"kind": "weight-aware", "warmup": 10})
+        )
+        assert spec.build_fleet().router.warmup == 10
+
+    def test_rejects_unknown_autoscaler_policy(self):
+        with pytest.raises(ValueError, match="unknown autoscaler policy"):
+            ScenarioSpec.from_dict(fleet_spec(autoscaler={"policy": "psychic"}))
+
+    def test_replay_llm_key_requires_trace_source(self):
+        with pytest.raises(ValueError, match="only applies to a 'trace'"):
+            ScenarioSpec.from_dict(
+                fleet_spec(
+                    traffic={
+                        "kind": "replay",
+                        "arrivals": REPLAY_ARRIVALS,
+                        "llm": "Llama-2-7b",
+                    }
+                )
+            )
+
+    def test_cluster_needs_capacity(self):
+        spec = cluster_spec()
+        del spec["capacity"]
+        with pytest.raises(ValueError, match="capacity"):
+            ScenarioSpec.from_dict(spec)
+
+    def test_cluster_rejects_duplicate_tenants(self):
+        spec = cluster_spec()
+        spec["tenants"].append(dict(spec["tenants"][0]))
+        with pytest.raises(ValueError, match="duplicate tenant names"):
+            ScenarioSpec.from_dict(spec)
+
+    def test_tenant_needs_name(self):
+        spec = cluster_spec()
+        del spec["tenants"][0]["name"]
+        with pytest.raises(ValueError, match="tenant needs a name"):
+            ScenarioSpec.from_dict(spec)
+
+
+class TestBuildTraffic:
+    @pytest.mark.parametrize(
+        "traffic, expected",
+        [
+            ({"kind": "closed", "users": 4}, ClosedLoopTraffic),
+            ({"kind": "poisson", "rate_per_s": 1.0}, PoissonTraffic),
+            ({"kind": "diurnal", "rate_per_s": 1.0, "period_s": 60}, DiurnalTraffic),
+            ({"kind": "bursty", "rate_per_s": 2.0, "mean_on_s": 5}, BurstyTraffic),
+            ({"kind": "replay", "arrivals": REPLAY_ARRIVALS}, ReplayTraffic),
+        ],
+    )
+    def test_kinds(self, traffic, expected):
+        spec = ScenarioSpec.from_dict(fleet_spec(traffic=traffic))
+        assert isinstance(spec.build_traffic(), expected)
+
+    def test_replay_transforms(self):
+        spec = ScenarioSpec.from_dict(
+            fleet_spec(
+                traffic={
+                    "kind": "replay",
+                    "arrivals": REPLAY_ARRIVALS,
+                    "bootstrap": {"n": 50, "rate_per_s": 2.0, "seed": 5},
+                }
+            )
+        )
+        traffic = spec.build_traffic()
+        assert traffic.remaining == 50
+        # Seeded: building twice replays the identical resample.
+        again = spec.build_traffic()
+        assert traffic.log.times_s.tolist() == again.log.times_s.tolist()
+
+
+class TestBuildAndRun:
+    def test_build_fleet(self):
+        spec = ScenarioSpec.from_dict(
+            fleet_spec(
+                admission={"mode": "shed", "slo_ttft_ms": 2000},
+                autoscaler={"policy": "threshold", "max_pods": 4},
+            )
+        )
+        fleet = spec.build_fleet()
+        assert isinstance(fleet, FleetSimulator)
+        assert len(fleet.pods) == 2
+        assert isinstance(fleet.router, AdmissionController)
+        assert fleet.autoscaler is not None
+
+    def test_spec_slo_inherited_by_admission_and_threshold(self):
+        # One spec-level SLO drives shedding, threshold scaling and
+        # reporting — like the CLI's single --slo-ttft-ms.
+        spec = ScenarioSpec.from_dict(
+            fleet_spec(
+                slo_ttft_ms=500,
+                admission={"mode": "shed"},
+                autoscaler={"policy": "threshold"},
+            )
+        )
+        fleet = spec.build_fleet()
+        assert fleet.router.slo_p95_ttft_s == pytest.approx(0.5)
+        assert fleet.autoscaler.policy.slo_p95_ttft_s == pytest.approx(0.5)
+        # An explicit section value still wins.
+        spec = ScenarioSpec.from_dict(
+            fleet_spec(slo_ttft_ms=500, admission={"mode": "shed",
+                                                   "slo_ttft_ms": 900})
+        )
+        assert spec.build_fleet().router.slo_p95_ttft_s == pytest.approx(0.9)
+        with pytest.raises(ValueError, match="build_cluster"):
+            ScenarioSpec.from_dict(cluster_spec()).build_fleet()
+
+    def test_build_cluster_inherits_defaults(self):
+        spec = ScenarioSpec.from_dict(cluster_spec(router="join-shortest-queue"))
+        sim = spec.build_cluster()
+        assert isinstance(sim, ClusterSimulator)
+        assert [g.name for g in sim.tenants] == ["chat", "batch"]
+        for group in sim.tenants:
+            assert group.profile == "1xA10-24GB"
+            assert group.fleet.router.name == "join-shortest-queue"
+        with pytest.raises(ValueError, match="build_fleet"):
+            ScenarioSpec.from_dict(fleet_spec()).build_cluster()
+
+    def test_run_fleet_deterministic(self):
+        spec = ScenarioSpec.from_dict(fleet_spec())
+        a = spec.run()
+        b = spec.run()
+        assert a.arrivals == len(REPLAY_ARRIVALS)
+        assert a.router == "weight-aware"
+        assert a.requests_completed == b.requests_completed
+        assert a.ttft.median_s == b.ttft.median_s
+
+    def test_run_cluster(self):
+        res = ScenarioSpec.from_dict(cluster_spec()).run()
+        assert res.tenants == ["chat", "batch"]
+        assert res.results["batch"].arrivals == len(REPLAY_ARRIVALS)
+
+
+class TestLoad:
+    def test_load_json(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(fleet_spec()))
+        spec = load_scenario(str(path))
+        assert spec.name == "fleet-test"
+        assert not spec.is_cluster
+
+    def test_load_yaml(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "scenario.yaml"
+        path.write_text(yaml.safe_dump(fleet_spec()))
+        spec = ScenarioSpec.load(str(path))
+        assert spec.name == "fleet-test"
+        assert spec.traffic["kind"] == "replay"
+
+    def test_load_bad_json(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            ScenarioSpec.load(str(path))
+
+
+class TestScenarioCLI:
+    def test_simulate_scenario(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(fleet_spec()))
+        rc = main(["simulate", "--scenario", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replay traffic, weight-aware routing" in out
+        assert "Llama-2-7b on 2x 1xA10-24GB" in out
+
+    def test_simulate_scenario_rejects_cluster_spec(self, tmp_path, capsys):
+        path = tmp_path / "cluster.json"
+        path.write_text(json.dumps(cluster_spec()))
+        rc = main(["simulate", "--scenario", str(path)])
+        assert rc == 2
+        assert "cluster-sim --scenario" in capsys.readouterr().err
+
+    def test_simulate_scenario_missing_file(self, capsys):
+        rc = main(["simulate", "--scenario", "no-such-scenario.json"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_cluster_sim_scenario(self, tmp_path, capsys):
+        path = tmp_path / "cluster.json"
+        path.write_text(json.dumps(cluster_spec()))
+        rc = main(["cluster-sim", "--scenario", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 tenants on one clock" in out
+        assert "Peak GPU occupancy" in out
+
+    def test_cluster_sim_scenario_json_output(self, tmp_path, capsys):
+        path = tmp_path / "cluster.json"
+        path.write_text(json.dumps(cluster_spec()))
+        rc = main(["cluster-sim", "--scenario", str(path), "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [t["name"] for t in data["tenants"]] == ["chat", "batch"]
+        assert data["capacity"] == {"A10-24GB": 3}
+
+    def test_cluster_sim_scenario_rejects_fleet_spec(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(fleet_spec()))
+        rc = main(["cluster-sim", "--scenario", str(path)])
+        assert rc == 2
+        assert "simulate --scenario" in capsys.readouterr().err

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Docs gate: intra-repo markdown links must resolve.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links and fails
+(exit 1, one line per problem) when a relative link points at a file
+that does not exist in the repo. External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``) are not checked.
+
+Run from anywhere: paths resolve against the repo root (this file's
+parent's parent). The CI docs job runs this plus
+``python -m doctest docs/scenarios.md``; ``tests/test_docs.py`` runs
+both as part of the tier-1 suite.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files() -> list[Path]:
+    docs = [REPO_ROOT / "README.md"]
+    docs.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [d for d in docs if d.exists()]
+
+
+def broken_links(path: Path) -> list[str]:
+    """Unresolvable relative link targets in one markdown file."""
+    problems = []
+    text = path.read_text()
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:  # pure in-page anchor
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            shown = (
+                path.relative_to(REPO_ROOT)
+                if path.is_relative_to(REPO_ROOT)
+                else path
+            )
+            problems.append(f"{shown}: broken link -> {target}")
+    return problems
+
+
+def main() -> int:
+    problems = []
+    for doc in doc_files():
+        problems.extend(broken_links(doc))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print(f"docs OK: {len(doc_files())} files, all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
