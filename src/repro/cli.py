@@ -77,6 +77,7 @@ from repro.simulation import (
     ThresholdPolicy,
 )
 from repro.traces import TraceConfig, TraceDataset, TraceSynthesizer
+from repro.utils.parallel import fork_map
 from repro.utils.rng import derive_rng
 from repro.utils.tables import format_table
 from repro.workload import WorkloadGenerator
@@ -182,8 +183,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cluster.add_argument(
         "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="FILE",
         help="declarative cluster scenario spec (.json/.yaml); replaces "
-        "--tenant/--capacity",
+        "--tenant/--capacity; repeatable — several scenarios run as a "
+        "batch (see --jobs)",
+    )
+    p_cluster.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for a multi-scenario batch; results are "
+        "printed in scenario order and identical to --jobs 1",
     )
     p_cluster.add_argument(
         "--tenant",
@@ -294,6 +307,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="trailing window for windowed tails and arrival rates, s",
+    )
+    p_elastic.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the candidate sweep; the "
+        "recommendation is byte-identical to --jobs 1",
     )
     p_elastic.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
@@ -751,18 +772,29 @@ def _parse_tenant_group(spec: str, args, generator) -> TenantGroup:
 
 def _cmd_cluster_sim(args) -> int:
     try:
-        if args.scenario:
-            spec = ScenarioSpec.load(args.scenario)
-            if not spec.is_cluster:
-                raise ValueError(
-                    f"scenario {spec.name!r} has no tenants; run it with "
-                    "simulate --scenario"
-                )
+        if args.jobs < 1:
+            raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
+        if args.scenarios:
+            specs = []
+            for path in args.scenarios:
+                spec = ScenarioSpec.load(path)
+                if not spec.is_cluster:
+                    raise ValueError(
+                        f"scenario {spec.name!r} has no tenants; run it with "
+                        "simulate --scenario"
+                    )
+                specs.append(spec)
+
             # Build + run inside the handler (an initial allocation that
             # does not fit the inventory is a user error); conservation
-            # is verified outside it, like the flag path below.
-            sim = spec.build_cluster()
-            res = sim.run(duration_s=spec.duration_s, warmup_s=spec.warmup_s)
+            # is verified outside it, like the flag path below. Worker
+            # errors propagate out of fork_map into the same handler.
+            def run_spec(spec):
+                sim = spec.build_cluster()
+                return sim.run(duration_s=spec.duration_s, warmup_s=spec.warmup_s)
+
+            names = [spec.name for spec in specs]
+            results = fork_map(run_spec, specs, args.jobs)
         else:
             if not args.tenants or not args.capacity:
                 raise ValueError(
@@ -778,18 +810,47 @@ def _cmd_cluster_sim(args) -> int:
                 capacity[gpu] = int(count)
             groups = [_parse_tenant_group(s, args, generator) for s in args.tenants]
             sim = ClusterSimulator(groups, ClusterInventory(capacity=capacity))
-            res = sim.run(duration_s=args.duration, warmup_s=args.warmup)
+            names = [None]
+            results = [sim.run(duration_s=args.duration, warmup_s=args.warmup)]
     except (KeyError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     # Outside the user-input error handler: a conservation violation is
     # a simulator bug and should surface as a traceback, not "error:".
-    res.verify_conservation()
+    for res in results:
+        res.verify_conservation()
     pricing = aws_like_pricing()
-    cost = res.cost(pricing)
     if args.json:
-        print(json.dumps(_cluster_sim_json(res, cost), indent=2))
+        payloads = [
+            _cluster_sim_json(res, res.cost(pricing)) for res in results
+        ]
+        if len(payloads) == 1:
+            print(json.dumps(payloads[0], indent=2))
+        else:
+            # A multi-scenario batch emits one array, scenarios in
+            # --scenario order (identical for any --jobs value).
+            for payload, name in zip(payloads, names):
+                payload["scenario"] = name
+            print(json.dumps(payloads, indent=2))
         return 0
+    batch = len(results) > 1
+    for i, (res, name) in enumerate(zip(results, names)):
+        if batch:
+            if i:
+                print()
+            print(f"=== {name} ===")
+        print(_render_cluster_sim(res, pricing), end="")
+    return 0
+
+
+def _render_cluster_sim(res, pricing) -> str:
+    """Human-readable report of one cluster co-simulation.
+
+    Returned as one string (not printed) so a multi-scenario batch can
+    render results in scenario order regardless of completion order.
+    """
+    cost = res.cost(pricing)
+    out = []
     rows = []
     for tenant in res.tenants:
         r = res.results[tenant]
@@ -809,7 +870,7 @@ def _cmd_cluster_sim(args) -> int:
                 cost[tenant],
             ]
         )
-    print(
+    out.append(
         format_table(
             [
                 "tenant",
@@ -839,7 +900,7 @@ def _cmd_cluster_sim(args) -> int:
             [f"{e.time_s:.0f}", t, e.constraint, e.from_pods, e.requested, e.to_pods]
             for t, e in contended
         ]
-        print(
+        out.append(
             format_table(
                 ["t(s)", "tenant", "outcome", "from", "asked", "granted"],
                 rows,
@@ -847,13 +908,13 @@ def _cmd_cluster_sim(args) -> int:
             )
         )
     else:
-        print("\nNo denied or clipped scale-ups.")
+        out.append("\nNo denied or clipped scale-ups.")
     peak = res.peak_occupancy()
-    print(
+    out.append(
         "Peak GPU occupancy: "
         + ", ".join(f"{gpu} {peak[gpu]}/{cap}" for gpu, cap in res.capacity.items())
     )
-    return 0
+    return "".join(line + "\n" for line in out)
 
 
 def _json_float(value: float) -> float | None:
@@ -949,10 +1010,13 @@ def _cmd_recommend_elastic(args) -> int:
             router_factory=lambda: ROUTERS[args.router](),
             stream_label=args.traffic,
         )
+        if args.jobs < 1:
+            raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
         rec = recommender.recommend(
             static_pods=args.static_pods or None,
             search_max=args.search_max,
             headroom=args.headroom,
+            jobs=args.jobs,
         )
     except (KeyError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -86,6 +86,7 @@ class Deployment:
         max_batch_weight: int,
         generator: WorkloadGenerator,
         seed: int = 0,
+        fast: bool = True,
     ) -> None:
         if n_pods < 1:
             raise ValueError(f"n_pods must be >= 1, got {n_pods}")
@@ -95,6 +96,10 @@ class Deployment:
         self.max_batch_weight = max_batch_weight
         self.generator = generator
         self.seed = seed
+        # Threaded into every engine and fleet this deployment builds.
+        # fast=False selects the straight-line golden-oracle simulation
+        # path (bit-identical, O(pods) frontier scan + scalar decode).
+        self.fast = bool(fast)
 
     def scale(self, n_pods: int) -> "Deployment":
         """A copy with a different replica count."""
@@ -105,6 +110,7 @@ class Deployment:
             max_batch_weight=self.max_batch_weight,
             generator=self.generator,
             seed=self.seed,
+            fast=self.fast,
         )
 
     def reconfigure(
@@ -130,6 +136,7 @@ class Deployment:
             max_batch_weight=weight,
             generator=self.generator,
             seed=self.seed,
+            fast=self.fast,
         )
 
     def tenant_group(
@@ -173,6 +180,7 @@ class Deployment:
             seed=spawn_seed(
                 self.seed, "pod", self.llm.name, self.profile.name, pod_serial
             ),
+            fast=self.fast,
         )
 
     def _pods(self) -> list[ContinuousBatchingEngine]:
@@ -199,6 +207,7 @@ class Deployment:
             source,
             autoscaler=autoscaler,
             pod_factory=self.pod_factory,
+            fast=self.fast,
         )
 
     def fleet(

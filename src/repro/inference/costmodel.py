@@ -109,6 +109,20 @@ class CostModel:
             + cfg.step_overhead_per_layer_s * (llm.n_layers + llm.n_encoder_layers)
         )
 
+        # decode_step_time runs once per simulated engine step — the
+        # single hottest call in the whole simulator — so its per-call
+        # constants are folded here. Each folded value is the *same*
+        # float expression the method used to evaluate inline (same
+        # operand order), so results stay bit-identical.
+        self._decode_weight_read = (
+            self._decode_weight_bytes / self._effective_bandwidth
+        )
+        self._decode_kv_bytes = self.llm.kv_bytes_per_token
+        self._decode_flops = self.llm.flops_per_token
+        self._decode_compute_denom = (
+            self._effective_tflops * cfg.decode_compute_efficiency
+        )
+
     # ---- phases -----------------------------------------------------------
 
     def prefill_time(self, prompt_tokens: int) -> float:
@@ -136,20 +150,13 @@ class CostModel:
         """
         if n_seqs < 0 or kv_tokens < 0:
             raise ValueError("n_seqs and kv_tokens must be >= 0")
-        weight_read = self._decode_weight_bytes / self._effective_bandwidth
-        kv_read = (
-            kv_tokens * self.llm.kv_bytes_per_token / self._effective_bandwidth
-        )
-        compute = (
-            self.llm.flops_per_token
-            * n_seqs
-            / (self._effective_tflops * self.config.decode_compute_efficiency)
-        )
+        kv_read = kv_tokens * self._decode_kv_bytes / self._effective_bandwidth
+        compute = self._decode_flops * n_seqs / self._decode_compute_denom
         comm = (
             self._comm_bytes_per_token * n_seqs / self._comm_bandwidth
             + self._comm_latency_per_step
         )
-        return weight_read + kv_read + compute + comm + self._step_overhead
+        return self._decode_weight_read + kv_read + compute + comm + self._step_overhead
 
     # ---- aggregates ----------------------------------------------------------
 

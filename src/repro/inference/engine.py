@@ -15,6 +15,18 @@ time (with a small seeded lognormal jitter, playing the role of real
 measurement noise). Per-token client timestamps are tracked exactly:
 every decode step records, for each active request, the gap since that
 request's previous token.
+
+Two implementations of the decode step coexist. The scalar loop (the
+golden oracle, ``fast=False``) walks the active list one request at a
+time; the fast core (``fast=True``, the default) keeps the per-request
+decode state — last-token timestamp, generated count, output target,
+batch size — in parallel numpy arrays and advances the whole batch in
+a handful of array operations. Both paths draw the same single noise
+sample per step and perform the same IEEE-754 double arithmetic
+element-wise, so their outputs are bit-identical on pinned seeds (see
+``tests/test_inference.py`` and the golden pins in
+``tests/test_simulation.py``); ``benchmarks/bench_core_speed.py``
+enforces the equality and the speedup.
 """
 
 from __future__ import annotations
@@ -75,6 +87,7 @@ class ContinuousBatchingEngine:
         noise_sigma: float = 0.03,
         admission_lookahead: int = 32,
         starvation_timeout_s: float = 60.0,
+        fast: bool = True,
     ) -> None:
         if max_batch_weight < 2:
             raise ValueError(f"max_batch_weight must be >= 2, got {max_batch_weight}")
@@ -102,6 +115,29 @@ class ContinuousBatchingEngine:
         # break warmup resets and cross-pod merging.
         self.metrics = MetricsCollector()
         self.stats = EngineStats()
+        # Fast decode core: structure-of-arrays mirror of self._active.
+        # Row i of each array belongs to self._active[i]; the scalar
+        # oracle path (fast=False) never touches them and remains the
+        # reference implementation the fast path is tested against.
+        self.fast = bool(fast)
+        self._soa_cap = 64
+        self._soa_last = np.zeros(self._soa_cap)  # last_token_at
+        self._soa_gen = np.zeros(self._soa_cap, dtype=np.int64)  # generated
+        self._soa_out = np.zeros(self._soa_cap, dtype=np.int64)  # output target
+        self._soa_batch = np.zeros(self._soa_cap, dtype=np.int64)  # batch size
+        # Incremental mirrors of two per-step reductions: the total
+        # sequence count of the active batch, and how many decode steps
+        # remain until the *next* completion (every active request gains
+        # exactly one token per step, so the countdown is exact). Both
+        # are bookkeeping only — they change no simulated quantity.
+        self._soa_seqs = 0
+        self._soa_min_left = 0
+        # Failed-admission memo: a scan that admitted nothing stays
+        # futile until a completion frees budget/slots, or a new arrival
+        # lands on a queue the scan had exhausted. Consulted by the fast
+        # path only; the oracle always rescans.
+        self._admit_blocked = False
+        self._admit_scanned_all = False
 
     # ---- public API -----------------------------------------------------
 
@@ -150,6 +186,10 @@ class ContinuousBatchingEngine:
             )
         self._queue.append((request, float(arrival_time)))
         self._pending_weight += request.weight
+        if self._admit_scanned_all:
+            # The failed scan had examined the whole queue; this arrival
+            # extends it, so the next scan may succeed.
+            self._admit_blocked = False
 
     def advance_to(self, t: float) -> None:
         """Move virtual time forward to ``t`` (idle gap, no work done)."""
@@ -161,12 +201,13 @@ class ContinuousBatchingEngine:
 
     def step(self) -> list[RequestResult]:
         """Run one scheduler iteration; returns requests completed in it."""
-        if not self.has_work():
+        if not (self._queue or self._active):
             return []
         self.stats.steps += 1
-        admitted = self._admit()
-        if admitted:
-            return self._prefill(admitted)
+        if self._queue and not (self.fast and self._admit_blocked):
+            admitted = self._admit()
+            if admitted:
+                return self._prefill(admitted)
         return self._decode()
 
     def run_until(self, t_end: float, max_steps: int | None = None) -> list[RequestResult]:
@@ -224,6 +265,13 @@ class ContinuousBatchingEngine:
         admitted: list[_Active] = []
         if not self._queue:
             return admitted
+        if self.fast and self._admit_blocked:
+            # Nothing has changed since a scan admitted nothing: the
+            # queue is unchanged (admission is the only consumer), the
+            # budget is unchanged (only completions free weight), and
+            # the passage of time can only *suspend* reordering, which
+            # never turns a failed scan into a successful one.
+            return admitted
         head_wait = self._time - self._queue[0][1]
         allow_reorder = head_wait < self.starvation_timeout_s
         budget = self.max_batch_weight - self._batch_weight
@@ -241,8 +289,12 @@ class ContinuousBatchingEngine:
             skipped.append((request, submitted_at))
             if not allow_reorder or len(skipped) >= self.admission_lookahead:
                 break
+        scanned_all = not self._queue
         for item in reversed(skipped):
             self._queue.appendleft(item)
+        if not admitted:
+            self._admit_blocked = True
+            self._admit_scanned_all = scanned_all
         return admitted
 
     def _prefill(self, admitted: list[_Active]) -> list[RequestResult]:
@@ -271,11 +323,91 @@ class ContinuousBatchingEngine:
                 completed.append(self._finish(a))
             else:
                 self._active.append(a)
+                if self.fast:
+                    self._soa_append(len(self._active) - 1, a)
         self.metrics.record_tokens(first_tokens, self._time)
+        return completed
+
+    def _soa_append(self, row: int, a: _Active) -> None:
+        """Mirror a freshly admitted request into the decode arrays."""
+        if row >= self._soa_cap:
+            while self._soa_cap <= row:
+                self._soa_cap *= 2
+            for name in ("_soa_last", "_soa_gen", "_soa_out", "_soa_batch"):
+                old = getattr(self, name)
+                grown = np.zeros(self._soa_cap, dtype=old.dtype)
+                grown[: old.size] = old
+                setattr(self, name, grown)
+        self._soa_last[row] = a.last_token_at
+        self._soa_gen[row] = a.generated
+        self._soa_out[row] = a.request.output_tokens
+        self._soa_batch[row] = a.request.batch_size
+        self._soa_seqs += a.request.batch_size
+        left = a.request.output_tokens - a.generated
+        if row == 0 or left < self._soa_min_left:
+            self._soa_min_left = left
+
+    def _decode_fast(self) -> list[RequestResult]:
+        """Vectorized decode step over the structure-of-arrays mirror.
+
+        Bit-identical to :meth:`_decode` by construction: one noise draw
+        per step, ``n_seqs`` is the same exact integer, and the gap
+        subtraction is the same IEEE-754 double op applied element-wise.
+        Completions are emitted in active-list order, exactly as the
+        scalar loop does. When extending this kernel, keep every float
+        operation an element-wise mirror of the scalar statement and
+        never reorder reductions — see docs/architecture.md ("Fast core
+        vs golden oracle").
+        """
+        stats = self.stats
+        stats.decode_steps += 1
+        n = len(self._active)
+        n_seqs = self._soa_seqs
+        dt = self.cost.decode_step_time(n_seqs, self._kv_tokens) * self._noise()
+        now = self._time + dt
+        self._time = now
+        stats.busy_time_s += dt
+
+        last = self._soa_last
+        # The gap samples are subtracted straight into the collector's
+        # buffer — same operands and order as the oracle's per-request
+        # ``now - a.last_token_at``, minus one array copy per step.
+        np.subtract(now, last[:n], out=self.metrics.gap_sink(n))
+        last[:n] = now
+        self._soa_gen[:n] += 1
+        self._kv_tokens += n_seqs
+        stats.tokens_generated += n_seqs
+        completed: list[RequestResult] = []
+        # Every active request gains exactly one token per step, so the
+        # smallest remaining-output count drops by exactly one — the
+        # done-comparison only needs to run when that countdown hits 0.
+        self._soa_min_left -= 1
+        if self._soa_min_left <= 0:
+            done = self._soa_gen[:n] >= self._soa_out[:n]
+            for i in np.flatnonzero(done):
+                a = self._active[i]
+                # Copy the authoritative array state back before the
+                # result is assembled (still-active rows stay lazily
+                # mirrored — the arrays are the source of truth).
+                a.generated = int(self._soa_gen[i])
+                a.last_token_at = now
+                self._soa_seqs -= a.request.batch_size
+                completed.append(self._finish(a))
+            keep = ~done
+            self._active = [a for a, k in zip(self._active, keep) if k]
+            m = len(self._active)
+            for arr in (self._soa_last, self._soa_gen, self._soa_out, self._soa_batch):
+                arr[:m] = arr[:n][keep]
+            self._soa_min_left = (
+                int((self._soa_out[:m] - self._soa_gen[:m]).min()) if m else 0
+            )
+        self.metrics.record_tokens(n_seqs, now)
         return completed
 
     def _decode(self) -> list[RequestResult]:
         """One decode step: every active sequence gains one token."""
+        if self.fast:
+            return self._decode_fast()
         self.stats.decode_steps += 1
         n_seqs = sum(a.request.batch_size for a in self._active)
         dt = self.cost.decode_step_time(n_seqs, self._kv_tokens) * self._noise()
@@ -304,6 +436,7 @@ class ContinuousBatchingEngine:
     def _finish(self, a: _Active) -> RequestResult:
         req = a.request
         self._batch_weight -= req.weight
+        self._admit_blocked = False
         self._kv_tokens -= (req.input_tokens + req.output_tokens) * req.batch_size
         self.stats.requests_completed += 1
         result = RequestResult(

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.hardware.pricing import PricingTable
+from repro.utils.parallel import fork_map
 from repro.simulation.autoscale import (
     Autoscaler,
     AutoscaleConfig,
@@ -481,7 +482,22 @@ class ElasticRecommender:
 
     # ---- the sweep --------------------------------------------------------
 
-    def peak_static_pods(self, search_max: int = 8) -> tuple[int, list[TradePoint]]:
+    def evaluate_many(
+        self, candidates: Sequence[ElasticCandidate], jobs: int = 1
+    ) -> list[TradePoint]:
+        """Evaluate candidates, in candidate order, optionally in parallel.
+
+        Every candidate already replays an identically seeded arrival
+        process with no shared mutable state, so evaluation order cannot
+        influence any result — :func:`~repro.utils.parallel.fork_map`
+        with ``jobs > 1`` fans the same calls across worker processes
+        and returns the byte-identical list the serial loop produces.
+        """
+        return fork_map(self.evaluate, candidates, jobs)
+
+    def peak_static_pods(
+        self, search_max: int = 8, jobs: int = 1
+    ) -> tuple[int, list[TradePoint]]:
         """Autoscaler-in-the-loop sizing of the *static* baseline.
 
         Simulates static fleets of 1..``search_max`` pods under the same
@@ -490,16 +506,32 @@ class ElasticRecommender:
         whole ladder is returned as trade-curve points. When even
         ``search_max`` pods breach, the largest is returned (honest
         infeasibility: its penalty dominates its score).
+
+        With ``jobs > 1`` every rung is simulated concurrently and the
+        ladder is truncated at the first SLO-meeting rung afterwards —
+        the returned value is identical to the serial early-stopping
+        climb (each rung's simulation is independent), it just trades
+        some wasted work above the answer for wall-clock time.
         """
         if search_max < 1:
             raise ValueError(f"search_max must be >= 1, got {search_max}")
-        ladder = []
-        for n_pods in range(1, search_max + 1):
-            point = self.evaluate(ElasticCandidate("static", n_pods, n_pods))
-            ladder.append(point)
-            if point.meets_slo:
-                return n_pods, ladder
-        return search_max, ladder
+        rungs = [
+            ElasticCandidate("static", n_pods, n_pods)
+            for n_pods in range(1, search_max + 1)
+        ]
+        ladder: list[TradePoint] = []
+        if jobs > 1:
+            for point in self.evaluate_many(rungs, jobs):
+                ladder.append(point)
+                if point.meets_slo:
+                    break
+        else:
+            for rung in rungs:
+                point = self.evaluate(rung)
+                ladder.append(point)
+                if point.meets_slo:
+                    break
+        return len(ladder), ladder
 
     def recommend(
         self,
@@ -507,6 +539,7 @@ class ElasticRecommender:
         static_pods: int | None = None,
         search_max: int = 8,
         headroom: int = 2,
+        jobs: int = 1,
     ) -> ElasticRecommendation:
         """Run the sweep and pick the cheapest SLO-meeting configuration.
 
@@ -519,10 +552,15 @@ class ElasticRecommender:
         the lowest total cost, then the fewest pod-hours; ``static``
         points compete on equal terms, so the recommendation degrades
         gracefully to "stay static" when elasticity does not pay.
+
+        ``jobs > 1`` distributes the ladder and the candidate sweep
+        across worker processes; every candidate keeps its own
+        deterministic seed, so the recommendation is byte-identical to
+        the ``jobs=1`` serial sweep.
         """
         ladder: list[TradePoint] = []
         if static_pods is None:
-            static_pods, ladder = self.peak_static_pods(search_max)
+            static_pods, ladder = self.peak_static_pods(search_max, jobs=jobs)
             static_point = ladder[-1]
         else:
             if static_pods < 1:
@@ -537,7 +575,7 @@ class ElasticRecommender:
                 max_pods=static_pods + headroom,
                 requests_per_pod_per_s=self._per_pod_rate(static_point, static_pods),
             )
-        curve = ladder + [self.evaluate(c) for c in candidates]
+        curve = ladder + self.evaluate_many(candidates, jobs)
         chosen = min(
             curve,
             key=lambda p: (not p.meets_slo, p.total_cost, p.pod_hours),

@@ -22,6 +22,11 @@ from repro.simulation.traffic import (
     split_users,
     round_robin_assignment,
 )
+from repro.simulation.frontier import (
+    EventFrontier,
+    committed_load,
+    least_loaded_pod,
+)
 from repro.simulation.fleet import (
     Router,
     RoundRobinRouter,
@@ -57,6 +62,9 @@ from repro.simulation.cluster import (
 from repro.simulation.scenario import ScenarioSpec, load_scenario
 
 __all__ = [
+    "EventFrontier",
+    "committed_load",
+    "least_loaded_pod",
     "ArrivalLog",
     "ReplayTraffic",
     "ScenarioSpec",

@@ -35,6 +35,7 @@ golden-identical to the standalone fleet.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -196,6 +197,22 @@ class ClusterResult:
     end_provisioned: dict[str, int]
     events: list[InventoryEvent] = field(default_factory=list, repr=False)
     base_used: dict[str, int] = field(default_factory=dict, repr=False)
+    sim_events: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        """Co-simulator throughput: engine steps per wall-clock second.
+
+        The cluster-level counterpart of
+        :attr:`~repro.simulation.fleet.FleetResult.events_per_second`:
+        ``sim_events`` sums every tenant fleet's scheduler iterations,
+        ``wall_time_s`` covers the shared-clock loop from the first
+        allocation to result assembly. 0.0 when timing was not captured.
+        """
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.sim_events / self.wall_time_s
 
     @property
     def pod_seconds_total(self) -> float:
@@ -388,6 +405,7 @@ class ClusterSimulator:
         if warmup_s < 0:
             raise ValueError(f"warmup_s must be >= 0, got {warmup_s}")
         t_end = warmup_s + duration_s
+        wall_start = _time.perf_counter()
         base_used = dict(self.inventory.used)
         for group in self.tenants:
             try:
@@ -438,6 +456,8 @@ class ClusterSimulator:
             g.name: g.fleet.collect(duration_s, warmup_s, keep_samples)
             for g in self.tenants
         }
+        sim_events = sum(r.sim_events for r in results.values())
+        wall_time_s = _time.perf_counter() - wall_start
         return ClusterResult(
             duration_s=duration_s,
             warmup_s=warmup_s,
@@ -450,4 +470,6 @@ class ClusterSimulator:
             end_provisioned={g.name: g.fleet.provisioned for g in self.tenants},
             events=list(self.inventory.events),
             base_used=base_used,
+            sim_events=sim_events,
+            wall_time_s=wall_time_s,
         )

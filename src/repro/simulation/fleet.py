@@ -30,11 +30,17 @@ seeded output.
 from __future__ import annotations
 
 import heapq
+import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.simulation.frontier import (
+    EventFrontier,
+    committed_load,
+    least_loaded_pod,
+)
 from repro.simulation.metrics import LatencyStats, MetricsCollector
 from repro.simulation.traffic import RequestSource, TrafficModel
 
@@ -44,6 +50,8 @@ if TYPE_CHECKING:  # import cycle: the engine itself imports this package
     from repro.simulation.autoscale import Autoscaler, FleetView
 
 __all__ = [
+    "committed_load",
+    "least_loaded_pod",
     "Router",
     "RoundRobinRouter",
     "LeastLoadedRouter",
@@ -102,10 +110,7 @@ class LeastLoadedRouter(Router):
     name = "least-loaded"
 
     def route(self, request, arrival_time, pods) -> int:
-        return min(
-            range(len(pods)),
-            key=lambda i: (pods[i].batch_weight_in_use + pods[i].pending_weight, i),
-        )
+        return least_loaded_pod(range(len(pods)), pods)
 
 
 class JoinShortestQueueRouter(Router):
@@ -167,10 +172,7 @@ class WeightAwareRouter(Router):
 
     @staticmethod
     def _least_loaded(candidates: list[int], pods) -> int:
-        return min(
-            candidates,
-            key=lambda i: (pods[i].batch_weight_in_use + pods[i].pending_weight, i),
-        )
+        return least_loaded_pod(candidates, pods)
 
     def _threshold(self, heavy_share: float) -> float:
         """Weight above which the top tail carries ``heavy_share`` of load.
@@ -306,6 +308,8 @@ class FleetResult:
     completed_total: int = 0
     in_flight_end: int = 0
     pod_seconds: float = 0.0
+    sim_events: int = 0
+    wall_time_s: float = 0.0
     scale_events: list[ScaleEvent] = field(default_factory=list, repr=False)
     per_pod: list[PodStats] = field(default_factory=list, repr=False)
     metrics: MetricsCollector | None = field(default=None, repr=False)
@@ -313,6 +317,19 @@ class FleetResult:
     @property
     def pod_hours(self) -> float:
         return self.pod_seconds / 3600.0
+
+    @property
+    def events_per_second(self) -> float:
+        """Simulator throughput: engine steps per wall-clock second.
+
+        ``sim_events`` counts scheduler iterations (the unit of work the
+        event loop executes); ``wall_time_s`` is real time from
+        ``begin()`` to result assembly. The uniform throughput figure
+        every benchmark reports. 0.0 when timing was not captured.
+        """
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.sim_events / self.wall_time_s
 
     def verify_conservation(self) -> None:
         """Raise if any offered request was lost or double-counted.
@@ -366,6 +383,7 @@ class FleetSimulator:
         source: RequestSource,
         autoscaler: "Autoscaler | None" = None,
         pod_factory: Callable[[int], "ContinuousBatchingEngine"] | None = None,
+        fast: bool = True,
     ) -> None:
         if not pods:
             raise ValueError("FleetSimulator needs at least one pod")
@@ -410,6 +428,14 @@ class FleetSimulator:
         self._warmed_up = True
         self._warmup_s = 0.0
         self._next_decision = float("inf")
+        # Fast core: O(log pods) frontier lookups through a lazily
+        # invalidated heap instead of the oracle's O(pods) min() scans.
+        # Bit-identical by construction (see simulation.frontier); the
+        # oracle path stays selectable for equivalence benchmarks.
+        self.fast = bool(fast)
+        self._frontier = EventFrontier()
+        self._events = 0
+        self._wall_start = _time.perf_counter()
 
     def bind_capacity(
         self,
@@ -481,14 +507,21 @@ class FleetSimulator:
         """
         t_end = warmup_s + duration_s
         self.begin(duration_s, warmup_s)
+        # The loop body runs once per simulated event; bind the three
+        # per-event calls as locals (and peek the heap directly under
+        # the fast core) to keep the dispatch overhead off the oracle
+        # vs fast comparison as much as possible.
+        inject_due = self._inject_due
+        step_pod = self.step_pod
+        peek = self._frontier.peek if self.fast else self.frontier_pod
         while True:
-            self._inject_due(t_end)
-            stepping = self.frontier_pod()
-            if stepping is None or stepping.time >= t_end:
+            inject_due(t_end)
+            stepping = peek()
+            if stepping is None or stepping._time >= t_end:
                 break
-            while self._next_decision <= stepping.time and self._next_decision < t_end:
+            while self._next_decision <= stepping._time and self._next_decision < t_end:
                 self.autoscale_tick()
-            self.step_pod(stepping)
+            step_pod(stepping)
         self.drain_pending()
         if not assemble_result:
             return None
@@ -512,6 +545,10 @@ class FleetSimulator:
             if pod.time > 0 or pod.has_work():
                 raise ValueError("FleetSimulator requires fresh engines")
         self.router.reset()
+        self._events = 0
+        self._wall_start = _time.perf_counter()
+        if self.fast:
+            self._frontier.rebuild(self._in_service())
         if self.autoscaler is not None:
             self.autoscaler.reset()
         self._next_decision = (
@@ -539,7 +576,14 @@ class FleetSimulator:
         which pod is busiest (activated pods start idle, draining pods
         stay in service), so the frontier found before processing due
         decisions is still the pod to hand to :meth:`step_pod` after.
+
+        The fast core answers from the :class:`EventFrontier` heap in
+        O(log pods) amortized; the oracle path scans. The heap's
+        tie-break replicates the scan's first-minimum-in-service-order
+        semantics, so both paths return the *same* pod on equal clocks.
         """
+        if self.fast:
+            return self._frontier.peek()
         busy = [pod for pod in self._in_service() if pod.has_work()]
         if not busy:
             return None
@@ -557,6 +601,7 @@ class FleetSimulator:
 
     def step_pod(self, stepping: "ContinuousBatchingEngine") -> None:
         """Step the frontier pod once; handle its completions."""
+        self._events += 1
         if not self._warmed_up and stepping.time >= self._warmup_s:
             # Reset every engine ever provisioned, not just the ones
             # still in service: a pod retired before the warmup
@@ -578,6 +623,10 @@ class FleetSimulator:
                 )
         if self._draining:
             self._retire_drained(stepping.time)
+        if self.fast:
+            # The step moved the pod's clock: its old heap entry is now
+            # stale, so record the new frontier position (if still busy).
+            self._frontier.push(stepping)
 
     def drain_pending(self) -> None:
         """Flush boundary-crossing resubmissions after the loop exits.
@@ -624,9 +673,16 @@ class FleetSimulator:
                 return
             use_pending = t_pend is not None and (t_sched is None or t_pend <= t_sched)
             t = t_pend if use_pending else t_sched
-            busy_times = [pod.time for pod in self._in_service() if pod.has_work()]
-            if busy_times and t > min(busy_times):
-                return
+            if self.fast:
+                frontier = self._frontier.peek()
+                if frontier is not None and t > frontier._time:
+                    return
+            else:
+                busy_times = [
+                    pod.time for pod in self._in_service() if pod.has_work()
+                ]
+                if busy_times and t > min(busy_times):
+                    return
             if use_pending:
                 t, _, hint, request, counted = heapq.heappop(self._pending)
             else:
@@ -679,9 +735,16 @@ class FleetSimulator:
                     return
             i = self.router.route(request, arrival_time, self.pods)
             pod = self.pods[i]
+        was_busy = pod.has_work()
         if pod.time < arrival_time:
             pod.advance_to(arrival_time)
         pod.submit(request, arrival_time=arrival_time)
+        if self.fast and not was_busy:
+            # The submit turned an idle pod busy (possibly moving its
+            # clock first): it joins the event frontier now. Pods that
+            # were already busy keep their valid heap entry — a busy
+            # pod's clock never moves on submit.
+            self._frontier.push(pod)
         self.routed_counts[self._serials[id(pod)]] += 1
 
     # ---- elasticity -------------------------------------------------------
@@ -694,11 +757,18 @@ class FleetSimulator:
 
     def _activate_ready(self, now: float) -> None:
         """Move cold-started pods whose ready time has passed into service."""
+        activated = False
         while self._starting and self._starting[0][0] <= now:
             ready, serial, pod = self._starting.pop(0)
             pod.advance_to(ready)
             self.pods.append(pod)
             self._routable.add(serial)
+            activated = True
+        if activated and self.fast:
+            # Appending to self.pods shifts every draining pod's
+            # position in the in-service order — the heap's tie-break —
+            # so the index must be rebuilt.
+            self._frontier.rebuild(self._in_service())
 
     def _retire_drained(self, now: float) -> None:
         """Retire draining pods that have finished their residual work."""
@@ -715,6 +785,8 @@ class FleetSimulator:
                 self._pod_seconds -= max(0.0, now - pod.time)
                 retired += 1
         self._draining = still
+        if retired and self.fast:
+            self._frontier.rebuild(self._in_service())
         if retired and self._release is not None:
             self._release(retired, now)
 
@@ -763,18 +835,19 @@ class FleetSimulator:
             # ...then drain serving pods, lightest committed load first,
             # newest first on ties; never drain the last routable pod.
             # (Draining pods keep their GPUs until they retire.)
+            drained = False
             while delta and len(self.pods) > 1:
                 victim = min(
                     self.pods,
-                    key=lambda p: (
-                        p.batch_weight_in_use + p.pending_weight,
-                        -self._serials[id(p)],
-                    ),
+                    key=lambda p: (committed_load(p), -self._serials[id(p)]),
                 )
                 self.pods.remove(victim)
                 self._routable.discard(self._serials[id(victim)])
                 self._draining.append(victim)
+                drained = True
                 delta -= 1
+            if drained and self.fast:
+                self._frontier.rebuild(self._in_service())
         self.scale_events.append(
             ScaleEvent(
                 time_s=t,
@@ -876,6 +949,8 @@ class FleetSimulator:
             tokens_generated=tokens,
             throughput_tokens_per_s=tokens / elapsed,
             pod_seconds=self._pod_seconds,
+            sim_events=self._events,
+            wall_time_s=_time.perf_counter() - self._wall_start,
             scale_events=list(self.scale_events),
             ttft=merged.ttft_stats(),
             itl=merged.itl_stats(),

@@ -74,6 +74,18 @@ class _GrowableArray:
         self._buf[self._n : self._n + len(values)] = values
         self._n += len(values)
 
+    def write_slots(self, n: int) -> np.ndarray:
+        """Reserve ``n`` cells and return them as a writable view.
+
+        Zero-copy variant of :meth:`extend` for producers that can
+        compute their samples directly into the buffer (the vectorized
+        decode kernel); the caller must fill every returned cell.
+        """
+        self._reserve(n)
+        start = self._n
+        self._n = start + n
+        return self._buf[start : self._n]
+
     def clear(self) -> None:
         # Fresh allocation, not _n = 0: views handed out before the
         # clear must keep their contents (warmup snapshots).
@@ -149,6 +161,15 @@ class MetricsCollector:
 
     def record_gaps(self, gaps: np.ndarray, now: float) -> None:
         self._itl.extend(gaps)
+
+    def gap_sink(self, n: int) -> np.ndarray:
+        """Writable destination for ``n`` ITL gap samples (zero-copy).
+
+        Equivalent to building an ``n``-sized array and passing it to
+        :meth:`record_gaps`, minus the intermediate copy; used by the
+        fast decode kernel, which subtracts straight into the buffer.
+        """
+        return self._itl.write_slots(n)
 
     def record_tokens(self, n_tokens: int, now: float) -> None:
         self.tokens_recorded += n_tokens

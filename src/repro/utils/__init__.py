@@ -1,13 +1,16 @@
-"""Shared utilities: deterministic RNG handling, ASCII tables, small stats."""
+"""Shared utilities: deterministic RNG handling, ASCII tables, small
+stats, and deterministic process-parallel fan-out."""
 
 from repro.utils.rng import derive_rng, spawn_seed
 from repro.utils.tables import format_table
 from repro.utils.stats import median, percentile, relative_std
+from repro.utils.parallel import fork_map
 
 __all__ = [
     "derive_rng",
     "spawn_seed",
     "format_table",
+    "fork_map",
     "median",
     "percentile",
     "relative_std",

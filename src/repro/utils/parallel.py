@@ -1,0 +1,75 @@
+"""Deterministic process-parallel fan-out for sweep evaluation.
+
+Sweeps in this codebase (elastic recommendation candidates, feedback
+capacity candidates, batches of scenario files) share three properties:
+every item is evaluated by a pure, deterministically seeded function;
+the work payload is riddled with closures (policy factories, traffic
+factories) that cannot cross a pickle boundary; and callers depend on
+results arriving in *item order*, not completion order, so that
+``jobs=N`` output is byte-identical to the serial sweep.
+
+:func:`fork_map` packages the pattern: a fork-context
+``ProcessPoolExecutor`` whose workers inherit the function and item
+list through a module global set just before the fork, so only integer
+indices ever cross the pipe. ``Executor.map`` guarantees index order on
+the way back. Platforms without ``fork`` (Windows, some macOS setups)
+and ``jobs=1`` run the identical plain loop instead — same call
+sequence, same results, no pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, TypeVar
+
+__all__ = ["fork_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: (fn, items) for the in-flight fork_map, inherited by forked workers.
+_TASK: tuple[Callable[[Any], Any], Sequence[Any]] | None = None
+
+
+def _call_index(index: int) -> Any:
+    fn, items = _TASK
+    return fn(items[index])
+
+
+def fork_map(
+    fn: Callable[[T], R], items: Sequence[T], jobs: int | None = 1
+) -> list[R]:
+    """``[fn(item) for item in items]``, optionally across processes.
+
+    Results are always ordered by item index. ``jobs`` is clamped to
+    ``len(items)``; ``jobs <= 1``, a single item, a platform without the
+    ``fork`` start method, or a nested call from inside a worker all
+    fall back to the serial loop — the parallel path is an execution
+    detail, never a semantic one. Exceptions raised by ``fn`` propagate
+    to the caller; a worker process that dies outright surfaces as
+    ``concurrent.futures.process.BrokenProcessPool`` rather than a
+    hang.
+
+    ``fn`` and ``items`` may hold arbitrary unpicklable state (they are
+    inherited by the fork, not pickled), but each *result* must be
+    picklable to travel back.
+    """
+    global _TASK
+    items = list(items)
+    jobs = 1 if jobs is None else min(int(jobs), len(items))
+    if (
+        jobs <= 1
+        or len(items) <= 1
+        or _TASK is not None
+        or "fork" not in multiprocessing.get_all_start_methods()
+    ):
+        return [fn(item) for item in items]
+    _TASK = (fn, items)
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+            return list(pool.map(_call_index, range(len(items))))
+    finally:
+        _TASK = None

@@ -374,3 +374,83 @@ class TestScheduleBridge:
         moved = dep.reconfigure(profile=parse_profile("1xA100-40GB"))
         assert moved.max_batch_weight != WEIGHT
         assert moved.profile.name == "1xA100-40GB"
+
+
+class TestFastOracleParity:
+    """A contended, autoscaled multi-tenant cluster run on the fast
+    core must be bit-identical to the golden-oracle path."""
+
+    def _run(self, generator, fast):
+        def tenant_fleet(name, rate, seed, max_pods):
+            def factory(serial):
+                return ContinuousBatchingEngine(
+                    LLM, PROFILE, max_batch_weight=WEIGHT,
+                    seed=spawn_seed(seed, "pod", serial), fast=fast,
+                )
+
+            source = RequestSource(
+                generator, derive_rng(seed, "cluster-test", name), WEIGHT
+            )
+            return FleetSimulator(
+                [factory(0)],
+                PoissonTraffic(rate, rng=derive_rng(seed, "cluster-traffic", name)),
+                LeastLoadedRouter(),
+                source,
+                autoscaler=_scaler(max_pods=max_pods),
+                pod_factory=factory,
+                fast=fast,
+            )
+
+        tenants = [
+            TenantGroup(
+                "quiet", tenant_fleet("quiet", 1.0, 1, 3), PROFILE.name,
+                slo_p95_ttft_s=5.0,
+            ),
+            TenantGroup("noisy", tenant_fleet("noisy", 8.0, 2, 6), PROFILE.name),
+        ]
+        inventory = ClusterInventory(capacity={PROFILE.gpu.name: 3})
+        return ClusterSimulator(tenants, inventory).run(duration_s=60.0)
+
+    def test_cluster_results_bit_identical(self, generator):
+        fast = self._run(generator, fast=True)
+        oracle = self._run(generator, fast=False)
+        assert fast.tenants == oracle.tenants
+        assert fast.end_provisioned == oracle.end_provisioned
+        assert fast.sim_events == oracle.sim_events
+        for tenant in fast.tenants:
+            mine, ref = fast.results[tenant], oracle.results[tenant]
+            assert mine.arrivals == ref.arrivals
+            assert mine.requests_completed == ref.requests_completed
+            assert mine.tokens_generated == ref.tokens_generated
+            assert mine.pod_seconds == ref.pod_seconds
+            assert mine.ttft == ref.ttft
+            assert mine.itl == ref.itl
+            assert mine.e2e == ref.e2e
+            assert mine.scale_events == ref.scale_events
+        # Contention decisions (inventory grants/denials) match too.
+        assert [
+            (e.time_s, e.gpu, e.delta, e.tenant, e.reason) for e in fast.events
+        ] == [
+            (e.time_s, e.gpu, e.delta, e.tenant, e.reason) for e in oracle.events
+        ]
+        assert fast.wall_time_s > 0.0
+        assert fast.events_per_second > 0.0
+
+    def test_deployment_threads_fast_flag(self, generator):
+        def simulate(fast):
+            deployment = Deployment(
+                llm=LLM, profile=PROFILE, n_pods=2, max_batch_weight=WEIGHT,
+                generator=generator, seed=5, fast=fast,
+            )
+            assert deployment.pod_factory(0).fast is fast
+            assert deployment.scale(3).fast is fast
+            return deployment.simulate(
+                PoissonTraffic(4.0, rng=derive_rng(5, "dep-parity")),
+                duration_s=30.0,
+            )
+
+        fast, oracle = simulate(True), simulate(False)
+        assert fast.arrivals == oracle.arrivals
+        assert fast.tokens_generated == oracle.tokens_generated
+        assert fast.ttft == oracle.ttft
+        assert fast.itl == oracle.itl

@@ -1,7 +1,11 @@
 """Tests for the elastic recommender, cost objectives and the feedback
 scheduler (schedule -> co-simulate -> adjust)."""
 
+import json
 import math
+import multiprocessing
+import os
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -28,6 +32,7 @@ from repro.simulation import (
 )
 from repro.simulation.fleet import FleetResult
 from repro.simulation.metrics import LatencyStats
+from repro.utils.parallel import fork_map
 from repro.utils.rng import derive_rng
 
 LLM = get_llm("Llama-2-13b")
@@ -318,6 +323,92 @@ class TestToolElasticWiring:
         assert len(rec.curve) >= 4  # baseline + three default policies
 
 
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+def _boom_policy():
+    raise RuntimeError("boom")
+
+
+def _hard_exit(_index):
+    os._exit(13)
+
+
+class TestParallelSweeps:
+    """Process-parallel sweeps must be a pure performance knob: same
+    bytes out as serial, candidate order preserved, and a dead worker
+    surfaces as an error instead of a hang."""
+
+    SLO = 20.0
+
+    def _recommender(self, generator):
+        return ElasticRecommender(
+            _deployment(generator),
+            lambda: PoissonTraffic(3.0, rng=derive_rng(0, "elastic-test")),
+            CostObjective(
+                PRICING, LinearSLOPenalty(self.SLO, penalty_per_hour=100.0)
+            ),
+            slo_p95_ttft_s=self.SLO,
+            duration_s=60.0,
+            decision_interval_s=10.0,
+            cold_start_s=5.0,
+            metrics_window_s=15.0,
+        )
+
+    @needs_fork
+    def test_recommend_jobs_byte_identical(self, generator):
+        serial = self._recommender(generator).recommend(search_max=4, jobs=1)
+        parallel = self._recommender(generator).recommend(search_max=4, jobs=4)
+        assert json.dumps(serial.as_dict(), sort_keys=True) == json.dumps(
+            parallel.as_dict(), sort_keys=True
+        )
+
+    @needs_fork
+    def test_evaluate_many_preserves_candidate_order(self, generator):
+        recommender = self._recommender(generator)
+        candidates = [ElasticCandidate("static", n, n) for n in (3, 1, 2)]
+        candidates.append(
+            ElasticCandidate(
+                "threshold", 1, 2, lambda: ThresholdPolicy(slo_p95_ttft_s=5.0)
+            )
+        )
+        points = recommender.evaluate_many(candidates, jobs=4)
+        assert [(p.policy, p.min_pods, p.max_pods) for p in points] == [
+            (c.policy, c.min_pods, c.max_pods) for c in candidates
+        ]
+        serial = [recommender.evaluate(c) for c in candidates]
+        assert [p.total_cost for p in points] == [p.total_cost for p in serial]
+        assert [p.p95_ttft_s for p in points] == [p.p95_ttft_s for p in serial]
+
+    @needs_fork
+    def test_worker_exception_propagates(self, generator):
+        recommender = self._recommender(generator)
+        bad = ElasticCandidate("threshold", 1, 2, _boom_policy)
+        good = ElasticCandidate("static", 1, 1)
+        with pytest.raises(RuntimeError, match="boom"):
+            recommender.evaluate_many([bad, good], jobs=2)
+
+    @needs_fork
+    def test_worker_crash_surfaces_as_error(self):
+        # A worker that dies outright (os._exit skips all cleanup) must
+        # break the pool, not leave the parent waiting forever.
+        with pytest.raises(BrokenProcessPool):
+            fork_map(_hard_exit, [0, 1], jobs=2)
+
+    def test_serial_fallback_avoids_pool(self):
+        # jobs=1 and single-item inputs never fork, so even a would-be
+        # crasher runs inline (guard: call a harmless fn instead).
+        assert fork_map(lambda x: x * 2, [1, 2, 3], jobs=1) == [2, 4, 6]
+        assert fork_map(lambda x: x + 1, [41], jobs=8) == [42]
+
+    def test_jobs_none_and_zero_run_serial(self):
+        assert fork_map(lambda x: -x, [1, 2], jobs=None) == [-1, -2]
+        assert fork_map(lambda x: -x, [1, 2], jobs=0) == [-1, -2]
+
+
 def _option(n_pods):
     pod_cost = PRICING.pod_cost(PROFILE)
     return ProfileAssessment(
@@ -424,3 +515,28 @@ class TestFeedbackScheduler:
             FeedbackScheduler(capacity={}, duration_s=0.0)
         with pytest.raises(ValueError, match="max_iterations"):
             FeedbackScheduler(capacity={}, duration_s=1.0, max_iterations=0)
+
+    @needs_fork
+    def test_sweep_capacities_parallel_matches_serial(self, generator):
+        requests, deployments, factories, autoscalers = self._inputs(generator)
+        capacities = [{PROFILE.gpu.name: 2}, {PROFILE.gpu.name: 4}]
+
+        def sweep(jobs):
+            return FeedbackScheduler(
+                capacity={}, duration_s=30.0, max_iterations=2
+            ).sweep_capacities(
+                capacities, requests, deployments, factories,
+                autoscalers=autoscalers, jobs=jobs,
+            )
+
+        serial, parallel = sweep(1), sweep(2)
+        assert [o.contended_totals() for o in serial] == [
+            o.contended_totals() for o in parallel
+        ]
+        assert [
+            [(p.tenant, p.profile, p.n_pods) for p in o.iterations[-1].placements]
+            for o in serial
+        ] == [
+            [(p.tenant, p.profile, p.n_pods) for p in o.iterations[-1].placements]
+            for o in parallel
+        ]

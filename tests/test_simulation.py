@@ -27,6 +27,7 @@ from repro.simulation import (
     PoissonTraffic,
     RequestSource,
     RoundRobinRouter,
+    ThresholdPolicy,
 )
 from repro.utils.rng import derive_rng, spawn_seed
 
@@ -396,3 +397,66 @@ class TestMetricsCollector:
         times, rates = engine.metrics.throughput_timeseries()
         total_window_tokens = float(np.sum(rates)) * engine.metrics.window_s
         assert total_window_tokens == engine.stats.tokens_generated
+
+
+class TestFastOracleParity:
+    """The fast core (heap frontier + vectorized decode, ``fast=True``,
+    the default) must be bit-identical to the straight-line golden
+    oracle (``fast=False``) — same floats, same RNG draws, same event
+    order. This is the contract that lets the golden pins above keep
+    guarding both implementations at once."""
+
+    FIELDS = (
+        "time_s", "arrivals", "requests_completed", "tokens_generated",
+        "throughput_tokens_per_s", "admitted", "shed", "deferrals",
+        "completed_total", "in_flight_end", "pod_seconds", "sim_events",
+    )
+
+    def _run(self, generator, fast, autoscaled):
+        def factory(serial):
+            return ContinuousBatchingEngine(
+                LLM, PROFILE, max_batch_weight=12_000,
+                seed=spawn_seed(9, "pod", serial), fast=fast,
+            )
+
+        autoscaler = None
+        if autoscaled:
+            autoscaler = Autoscaler(
+                ThresholdPolicy(slo_p95_ttft_s=1.0),
+                AutoscaleConfig(
+                    decision_interval_s=10.0, max_pods=6,
+                    cold_start_s=5.0, metrics_window_s=20.0,
+                ),
+            )
+        source = RequestSource(generator, derive_rng(9, "parity"), 12_000)
+        fleet = FleetSimulator(
+            [factory(i) for i in range(4)],
+            BurstyTraffic(
+                6.0, rng=derive_rng(9, "parity-traffic"),
+                mean_on_s=10.0, mean_off_s=10.0,
+            ),
+            LeastLoadedRouter(),
+            source,
+            autoscaler=autoscaler,
+            pod_factory=factory,
+            fast=fast,
+        )
+        return fleet.run(duration_s=40.0)
+
+    @pytest.mark.parametrize("autoscaled", [False, True])
+    def test_fleet_results_bit_identical(self, generator, autoscaled):
+        fast = self._run(generator, fast=True, autoscaled=autoscaled)
+        oracle = self._run(generator, fast=False, autoscaled=autoscaled)
+        for field in self.FIELDS:
+            assert getattr(fast, field) == getattr(oracle, field), field
+        # Full latency distributions, not just aggregates.
+        assert fast.ttft == oracle.ttft
+        assert fast.itl == oracle.itl
+        assert fast.e2e == oracle.e2e
+        assert fast.scale_events == oracle.scale_events
+
+    def test_fast_run_times_itself(self, generator):
+        result = self._run(generator, fast=True, autoscaled=False)
+        assert result.sim_events > 0
+        assert result.wall_time_s > 0.0
+        assert result.events_per_second == result.sim_events / result.wall_time_s
