@@ -67,6 +67,8 @@ from repro.simulation import (
     ClusterInventory,
     ClusterSimulator,
     DiurnalTraffic,
+    FaultInjector,
+    FaultSpec,
     NoOpPolicy,
     PoissonTraffic,
     PredictivePolicy,
@@ -75,10 +77,11 @@ from repro.simulation import (
     TargetUtilizationPolicy,
     TenantGroup,
     ThresholdPolicy,
+    to_json,
 )
 from repro.traces import TraceConfig, TraceDataset, TraceSynthesizer
 from repro.utils.parallel import fork_map
-from repro.utils.rng import derive_rng
+from repro.utils.rng import derive_rng, spawn_seed
 from repro.utils.tables import format_table
 from repro.workload import WorkloadGenerator
 
@@ -130,52 +133,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="declarative scenario spec (.json/.yaml); overrides other flags",
     )
     _add_fleet_args(p_sim)
+    _add_fault_args(p_sim)
+    _add_json_arg(p_sim)
 
     p_auto = sub.add_parser(
         "autoscale", help="elastic fleet simulation under a scaling policy"
     )
     _add_fleet_args(p_auto)
-    p_auto.add_argument(
-        "--policy", choices=sorted(AUTOSCALE_POLICIES), default="threshold"
-    )
-    p_auto.add_argument("--min-pods", type=int, default=1)
-    p_auto.add_argument("--max-pods", type=int, default=16)
-    p_auto.add_argument(
-        "--interval", type=float, default=15.0, help="decision interval s"
-    )
-    p_auto.add_argument(
-        "--cold-start", type=float, default=10.0, help="pod cold-start delay s"
-    )
-    p_auto.add_argument(
-        "--metrics-window",
-        type=float,
-        default=30.0,
-        help="trailing window for windowed tails and arrival rates, s",
-    )
-    p_auto.add_argument(
-        "--slo-ttft-ms",
-        type=float,
-        default=2000.0,
-        help="p95 TTFT target for the threshold policy and admission control",
-    )
-    p_auto.add_argument(
-        "--target-util",
-        type=float,
-        default=0.6,
-        help="batch-weight utilization target (target-utilization policy)",
-    )
-    p_auto.add_argument(
-        "--pod-rate",
-        type=float,
-        default=2.0,
-        help="per-pod request capacity /s (predictive policy)",
-    )
-    p_auto.add_argument(
-        "--admission",
-        choices=["off", "shed", "defer"],
-        default="off",
-        help="SLO-aware admission control in front of the router",
-    )
+    _add_policy_args(p_auto)
+    _add_fault_args(p_auto)
+    _add_json_arg(p_auto)
 
     p_cluster = sub.add_parser(
         "cluster-sim",
@@ -217,37 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="GPU=N",
         help="GPU inventory (repeatable), e.g. 'A100-40GB=8'",
     )
-    p_cluster.add_argument(
-        "--policy",
-        choices=["none", *sorted(AUTOSCALE_POLICIES)],
-        default="threshold",
-        help="per-tenant autoscaling policy ('none': static fleets)",
-    )
+    _add_policy_args(p_cluster, allow_none=True)
     p_cluster.add_argument("--router", choices=sorted(ROUTERS), default="least-loaded")
     p_cluster.add_argument("--max-batch-weight", type=int, default=12_000)
-    p_cluster.add_argument("--min-pods", type=int, default=1)
-    p_cluster.add_argument("--max-pods", type=int, default=16)
-    p_cluster.add_argument("--interval", type=float, default=15.0)
-    p_cluster.add_argument("--cold-start", type=float, default=10.0)
-    p_cluster.add_argument("--metrics-window", type=float, default=30.0)
-    p_cluster.add_argument("--slo-ttft-ms", type=float, default=2000.0)
-    p_cluster.add_argument("--target-util", type=float, default=0.6)
-    p_cluster.add_argument("--pod-rate", type=float, default=2.0)
-    p_cluster.add_argument(
-        "--admission", choices=["off", "shed", "defer"], default="off"
-    )
-    p_cluster.add_argument("--amplitude", type=float, default=0.8)
-    p_cluster.add_argument("--period", type=float, default=300.0)
-    p_cluster.add_argument("--mean-on", type=float, default=20.0)
-    p_cluster.add_argument("--mean-off", type=float, default=40.0)
+    _add_shape_args(p_cluster)
     p_cluster.add_argument("--duration", type=float, default=120.0)
     p_cluster.add_argument("--warmup", type=float, default=0.0)
-    p_cluster.add_argument("--traces", help=".npz trace collection (else synthesized)")
-    p_cluster.add_argument("--requests", type=int, default=50_000)
-    p_cluster.add_argument("--seed", type=int, default=0)
-    p_cluster.add_argument(
-        "--json", action="store_true", help="machine-readable JSON output"
-    )
+    _add_workload_args(p_cluster)
+    _add_fault_args(p_cluster)
+    _add_json_arg(p_cluster)
 
     p_elastic = sub.add_parser(
         "recommend-elastic",
@@ -296,18 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="candidate max_pods above the static baseline",
     )
-    p_elastic.add_argument(
-        "--interval", type=float, default=15.0, help="decision interval s"
-    )
-    p_elastic.add_argument(
-        "--cold-start", type=float, default=10.0, help="pod cold-start delay s"
-    )
-    p_elastic.add_argument(
-        "--metrics-window",
-        type=float,
-        default=30.0,
-        help="trailing window for windowed tails and arrival rates, s",
-    )
+    _add_autoscaler_mechanics(p_elastic)
     p_elastic.add_argument(
         "--jobs",
         type=int,
@@ -316,9 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the candidate sweep; the "
         "recommendation is byte-identical to --jobs 1",
     )
-    p_elastic.add_argument(
-        "--json", action="store_true", help="machine-readable JSON output"
-    )
+    _add_json_arg(p_elastic)
 
     return parser
 
@@ -348,10 +280,7 @@ def _add_fleet_args(p: argparse.ArgumentParser, pods: bool = True) -> None:
         default=2.0,
         help="arrival rate/s (base rate for diurnal, burst rate for bursty)",
     )
-    p.add_argument("--amplitude", type=float, default=0.8, help="diurnal swing")
-    p.add_argument("--period", type=float, default=300.0, help="diurnal period s")
-    p.add_argument("--mean-on", type=float, default=20.0, help="bursty ON dwell s")
-    p.add_argument("--mean-off", type=float, default=40.0, help="bursty OFF dwell s")
+    _add_shape_args(p)
     p.add_argument(
         "--arrivals",
         help="recorded arrival log (.csv/.jsonl) for --traffic replay",
@@ -370,9 +299,112 @@ def _add_fleet_args(p: argparse.ArgumentParser, pods: bool = True) -> None:
     )
     p.add_argument("--duration", type=float, default=60.0)
     p.add_argument("--warmup", type=float, default=0.0)
+    _add_workload_args(p)
+
+
+def _add_shape_args(p: argparse.ArgumentParser) -> None:
+    """Shape knobs of the non-stationary synthetic traffic models."""
+    p.add_argument("--amplitude", type=float, default=0.8, help="diurnal swing")
+    p.add_argument("--period", type=float, default=300.0, help="diurnal period s")
+    p.add_argument("--mean-on", type=float, default=20.0, help="bursty ON dwell s")
+    p.add_argument("--mean-off", type=float, default=40.0, help="bursty OFF dwell s")
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    """Where synthetic request bodies come from (shared by every sim)."""
     p.add_argument("--traces", help=".npz trace collection (else synthesized)")
     p.add_argument("--requests", type=int, default=50_000)
     p.add_argument("--seed", type=int, default=0)
+
+
+def _add_autoscaler_mechanics(p: argparse.ArgumentParser) -> None:
+    """Timing knobs every autoscaled simulation shares."""
+    p.add_argument(
+        "--interval", type=float, default=15.0, help="decision interval s"
+    )
+    p.add_argument(
+        "--cold-start", type=float, default=10.0, help="pod cold-start delay s"
+    )
+    p.add_argument(
+        "--metrics-window",
+        type=float,
+        default=30.0,
+        help="trailing window for windowed tails and arrival rates, s",
+    )
+
+
+def _add_policy_args(p: argparse.ArgumentParser, allow_none: bool = False) -> None:
+    """Autoscaling policy + admission flags (autoscale, cluster-sim)."""
+    p.add_argument(
+        "--policy",
+        choices=(
+            ["none", *sorted(AUTOSCALE_POLICIES)]
+            if allow_none
+            else sorted(AUTOSCALE_POLICIES)
+        ),
+        default="threshold",
+        help=(
+            "per-tenant autoscaling policy ('none': static fleets)"
+            if allow_none
+            else "autoscaling policy"
+        ),
+    )
+    p.add_argument("--min-pods", type=int, default=1)
+    p.add_argument("--max-pods", type=int, default=16)
+    _add_autoscaler_mechanics(p)
+    p.add_argument(
+        "--slo-ttft-ms",
+        type=float,
+        default=2000.0,
+        help="p95 TTFT target for the threshold policy and admission control",
+    )
+    p.add_argument(
+        "--target-util",
+        type=float,
+        default=0.6,
+        help="batch-weight utilization target (target-utilization policy)",
+    )
+    p.add_argument(
+        "--pod-rate",
+        type=float,
+        default=2.0,
+        help="per-pod request capacity /s (predictive policy)",
+    )
+    p.add_argument(
+        "--admission",
+        choices=["off", "shed", "defer"],
+        default="off",
+        help="SLO-aware admission control in front of the router",
+    )
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    """Quick fault-injection flags (the declarative form lives in
+    scenario files; combining both is rejected at runtime)."""
+    p.add_argument(
+        "--fault",
+        action="append",
+        dest="faults",
+        metavar="KIND@TIME[:K=V,...]",
+        help="inject one fault (repeatable): KIND is crash / slowdown / "
+        "zone-outage, TIME is seconds into the run; options after ':' "
+        "are comma-separated key=value pairs from pod, zone, mode "
+        "(requeue/lose), restart, duration, factor — e.g. "
+        "'crash@30:restart=10', 'slowdown@20:duration=30,factor=4', "
+        "'zone-outage@60:zone=zone-1,restart=15'",
+    )
+    p.add_argument(
+        "--zones",
+        type=int,
+        default=1,
+        help="spread pods round-robin over N availability zones",
+    )
+
+
+def _add_json_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
 
 
 def _load_or_make_traces(args) -> TraceDataset:
@@ -540,6 +572,62 @@ def _make_traffic(args):
     return _build_traffic(args.traffic, _traffic_param(args), rng, args)
 
 
+_FAULT_OPTIONS = {"pod", "zone", "mode", "restart", "duration", "factor"}
+
+
+def _parse_fault(text: str) -> FaultSpec:
+    """``--fault KIND@TIME[:key=value,...]`` -> a validated FaultSpec."""
+    head, _, opts = text.partition(":")
+    kind, at, time_s = head.partition("@")
+    if not at or not kind or not time_s:
+        raise ValueError(
+            f"fault spec must be KIND@TIME[:key=value,...], got {text!r}"
+        )
+    kwargs = {}
+    for item in opts.split(",") if opts else []:
+        key, eq, value = item.partition("=")
+        if not eq or not key:
+            raise ValueError(f"fault option must be key=value, got {item!r}")
+        kwargs[key] = value
+    unknown = set(kwargs) - _FAULT_OPTIONS
+    if unknown:
+        raise ValueError(
+            f"unknown fault option(s) in {text!r}: {sorted(unknown)}; "
+            f"allowed: {sorted(_FAULT_OPTIONS)}"
+        )
+    return FaultSpec(
+        kind=kind,
+        time_s=float(time_s),
+        pod=int(kwargs["pod"]) if "pod" in kwargs else None,
+        zone=kwargs.get("zone"),
+        mode=kwargs.get("mode", "requeue"),
+        restart_delay_s=float(kwargs["restart"]) if "restart" in kwargs else None,
+        duration_s=float(kwargs["duration"]) if "duration" in kwargs else None,
+        factor=float(kwargs["factor"]) if "factor" in kwargs else None,
+    )
+
+
+def _make_faults(args, label: object) -> FaultInjector | None:
+    """One injector from the ``--fault`` flags (None without any).
+
+    Seeded per fleet/tenant label so cluster tenants sharing one flag
+    set draw independent, reproducible victims — mirroring how scenario
+    files seed their injectors.
+    """
+    if not args.faults:
+        return None
+    specs = [_parse_fault(text) for text in args.faults]
+    return FaultInjector(specs, seed=spawn_seed(args.seed, "cli-faults", label))
+
+
+def _reject_faults_with_scenario(args) -> None:
+    if args.faults or args.zones != 1:
+        raise ValueError(
+            "--fault/--zones configure the flag-built fleet; a --scenario "
+            "file declares faults in its own 'faults' section"
+        )
+
+
 def _cmd_simulate(args) -> int:
     try:
         if args.scenario:
@@ -547,6 +635,7 @@ def _cmd_simulate(args) -> int:
             # files) is user input and belongs inside the error handler;
             # running and the conservation check happen after it, so a
             # simulator bug surfaces as a traceback, not "error:".
+            _reject_faults_with_scenario(args)
             spec = ScenarioSpec.load(args.scenario)
             if spec.is_cluster:
                 raise ValueError(
@@ -568,6 +657,7 @@ def _cmd_simulate(args) -> int:
                 max_batch_weight=args.max_batch_weight,
                 generator=generator,
                 seed=args.seed,
+                n_zones=args.zones,
             )
             res = deployment.simulate(
                 _make_traffic(args),
@@ -575,6 +665,7 @@ def _cmd_simulate(args) -> int:
                 router=ROUTERS[args.router](),
                 warmup_s=args.warmup,
                 stream_label=args.traffic,
+                faults=_make_faults(args, args.traffic),
             )
             label, pods = llm.name, args.pods
             profile_name = profile.name
@@ -588,6 +679,9 @@ def _cmd_simulate(args) -> int:
         # A conservation violation is a simulator bug and should surface
         # as a traceback, not "error:".
         res.verify_conservation()
+    if args.json:
+        print(to_json(res))
+        return 0
     rows = [
         [
             p.pod,
@@ -629,7 +723,20 @@ def _cmd_simulate(args) -> int:
         f"{res.ttft.p99_s:.3f}s | ITL p50/p95/p99 {res.itl.median_s:.4f}/"
         f"{res.itl.p95_s:.4f}/{res.itl.p99_s:.4f}s"
     )
+    _print_fault_summary(res)
     return 0
+
+
+def _print_fault_summary(res) -> None:
+    if not res.fault_events:
+        return
+    shown = ", ".join(
+        f"{e.kind}@{e.time_s:.0f}s" for e in res.fault_events[:6]
+    ) + (", ..." if len(res.fault_events) > 6 else "")
+    print(
+        f"Faults: {len(res.fault_events)} event(s) [{shown}] | "
+        f"{res.requeued} requests requeued, {res.lost} lost"
+    )
 
 
 def _make_policy(args):
@@ -657,6 +764,7 @@ def _cmd_autoscale(args) -> int:
             max_batch_weight=args.max_batch_weight,
             generator=generator,
             seed=args.seed,
+            n_zones=args.zones,
         )
         autoscaler = Autoscaler(
             _make_policy(args),
@@ -683,6 +791,7 @@ def _cmd_autoscale(args) -> int:
             warmup_s=args.warmup,
             stream_label=args.traffic,
             autoscaler=autoscaler,
+            faults=_make_faults(args, args.traffic),
         )
     except (KeyError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -690,6 +799,9 @@ def _cmd_autoscale(args) -> int:
     # Outside the user-input error handler: a conservation violation is
     # a simulator bug and should surface as a traceback, not "error:".
     res.verify_conservation()
+    if args.json:
+        print(to_json(res, slo_p95_ttft_s=args.slo_ttft_ms / 1e3))
+        return 0
     if res.scale_events:
         rows = [
             [f"{e.time_s:.0f}", e.direction, e.from_pods, e.to_pods, e.reason]
@@ -720,6 +832,14 @@ def _cmd_autoscale(args) -> int:
         f"TTFT p50/p95/p99 {res.ttft.median_s:.3f}/{res.ttft.p95_s:.3f}/"
         f"{res.ttft.p99_s:.3f}s | ITL p95 {res.itl.p95_s:.4f}s"
     )
+    _print_fault_summary(res)
+    recovery = res.recovery_time_s(args.slo_ttft_ms / 1e3)
+    if recovery is not None:
+        print(
+            "  recovery after worst disruption: "
+            + (f"{recovery:.0f}s" if np.isfinite(recovery) else "never (p95 "
+               "did not re-enter the SLO)")
+        )
     return 0
 
 
@@ -737,6 +857,7 @@ def _parse_tenant_group(spec: str, args, generator) -> TenantGroup:
         max_batch_weight=args.max_batch_weight,
         generator=generator,
         seed=args.seed,
+        n_zones=args.zones,
     )
     router = ROUTERS[args.router]()
     if args.admission != "off":
@@ -767,6 +888,7 @@ def _parse_tenant_group(spec: str, args, generator) -> TenantGroup:
         router=router,
         autoscaler=autoscaler,
         slo_p95_ttft_s=args.slo_ttft_ms / 1e3,
+        faults=_make_faults(args, name),
     )
 
 
@@ -775,6 +897,7 @@ def _cmd_cluster_sim(args) -> int:
         if args.jobs < 1:
             raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
         if args.scenarios:
+            _reject_faults_with_scenario(args)
             specs = []
             for path in args.scenarios:
                 spec = ScenarioSpec.load(path)
@@ -821,9 +944,9 @@ def _cmd_cluster_sim(args) -> int:
         res.verify_conservation()
     pricing = aws_like_pricing()
     if args.json:
-        payloads = [
-            _cluster_sim_json(res, res.cost(pricing)) for res in results
-        ]
+        # One serialization path for every simulation result: the
+        # SimResult protocol's to_dict (see docs/cli.md for schemas).
+        payloads = [res.to_dict(pricing=pricing) for res in results]
         if len(payloads) == 1:
             print(json.dumps(payloads[0], indent=2))
         else:
@@ -914,49 +1037,14 @@ def _render_cluster_sim(res, pricing) -> str:
         "Peak GPU occupancy: "
         + ", ".join(f"{gpu} {peak[gpu]}/{cap}" for gpu, cap in res.capacity.items())
     )
+    fault_events = res.fault_events()
+    if fault_events:
+        shown = ", ".join(
+            f"{tenant}:{event.kind}@{event.time_s:.0f}s"
+            for tenant, event in fault_events[:6]
+        ) + (", ..." if len(fault_events) > 6 else "")
+        out.append(f"Fault events: {len(fault_events)} [{shown}]")
     return "".join(line + "\n" for line in out)
-
-
-def _json_float(value: float) -> float | None:
-    """NaN -> None: bare NaN is not valid JSON for strict parsers."""
-    return None if np.isnan(value) else float(value)
-
-
-def _cluster_sim_json(res, cost) -> dict:
-    """JSON view of a cluster co-simulation (stable schema for tooling)."""
-    return {
-        "duration_s": res.duration_s,
-        "capacity": dict(res.capacity),
-        "total_cost": sum(cost.values()),
-        "peak_occupancy": res.peak_occupancy(),
-        "tenants": [
-            {
-                "name": tenant,
-                "profile": res.profiles[tenant],
-                "pods_end": res.results[tenant].n_pods,
-                "arrivals": res.results[tenant].arrivals,
-                "shed": res.results[tenant].shed,
-                "requests_completed": res.results[tenant].requests_completed,
-                "throughput_tokens_per_s": res.results[tenant].throughput_tokens_per_s,
-                "ttft_p95_s": _json_float(res.results[tenant].ttft.p95_s),
-                "meets_slo": res.meets_slo(tenant),
-                "pod_seconds": res.results[tenant].pod_seconds,
-                "cost": cost[tenant],
-            }
-            for tenant in res.tenants
-        ],
-        "contended_scale_events": [
-            {
-                "time_s": event.time_s,
-                "tenant": tenant,
-                "constraint": event.constraint,
-                "from_pods": event.from_pods,
-                "requested": event.requested,
-                "to_pods": event.to_pods,
-            }
-            for tenant, event in res.contended_scale_events()
-        ],
-    }
 
 
 def _cmd_recommend_elastic(args) -> int:

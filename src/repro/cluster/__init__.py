@@ -2,7 +2,9 @@
 multi-tenant cluster scheduling and shared-clock multi-tenant
 co-simulation (the paper's declared next step)."""
 
-from repro.cluster.balancer import split_users, round_robin_assignment
+# Imported from their real home, not repro.cluster.balancer: that shim
+# now warns on import, and merely importing this package must not.
+from repro.simulation.traffic import split_users, round_robin_assignment
 from repro.cluster.deployment import Deployment, DeploymentLoadTestResult
 from repro.cluster.scheduler import (
     ClusterInventory,

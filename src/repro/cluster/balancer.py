@@ -1,13 +1,23 @@
-"""Load balancing across the pods of a deployment (paper §II-C).
+"""Deprecated shim for load-balancer helpers (paper §II-C).
 
 User partitioning now lives with the sticky-session logic in
 :mod:`repro.simulation.traffic` (round-robin routing of a sticky
-closed-loop population produces exactly these splits); this module
-re-exports the public names so ``repro.cluster`` keeps its API.
+closed-loop population produces exactly these splits). Importing this
+module emits a :class:`DeprecationWarning`; update imports to
+``repro.simulation.traffic``.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.simulation.traffic import round_robin_assignment, split_users
 
 __all__ = ["split_users", "round_robin_assignment"]
+
+warnings.warn(
+    "repro.cluster.balancer is deprecated; import split_users and "
+    "round_robin_assignment from repro.simulation.traffic",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -22,6 +22,7 @@ from repro.characterization.loadtest import LoadTestResult, noisy_medians
 from repro.hardware.profile import GPUProfile
 from repro.inference.engine import ContinuousBatchingEngine
 from repro.models.llm import LLMSpec
+from repro.simulation.faults import FaultInjector
 from repro.simulation.fleet import (
     FleetResult,
     FleetSimulator,
@@ -87,9 +88,12 @@ class Deployment:
         generator: WorkloadGenerator,
         seed: int = 0,
         fast: bool = True,
+        n_zones: int = 1,
     ) -> None:
         if n_pods < 1:
             raise ValueError(f"n_pods must be >= 1, got {n_pods}")
+        if n_zones < 1:
+            raise ValueError(f"n_zones must be >= 1, got {n_zones}")
         self.llm = llm
         self.profile = profile
         self.n_pods = n_pods
@@ -100,6 +104,10 @@ class Deployment:
         # fast=False selects the straight-line golden-oracle simulation
         # path (bit-identical, O(pods) frontier scan + scalar decode).
         self.fast = bool(fast)
+        # Availability zones for correlated fault injection: pod serials
+        # round-robin across zones (see zone_of), so any n_pods spread
+        # evenly and autoscaled pods keep landing in rotation.
+        self.n_zones = int(n_zones)
 
     def scale(self, n_pods: int) -> "Deployment":
         """A copy with a different replica count."""
@@ -111,6 +119,7 @@ class Deployment:
             generator=self.generator,
             seed=self.seed,
             fast=self.fast,
+            n_zones=self.n_zones,
         )
 
     def reconfigure(
@@ -137,7 +146,12 @@ class Deployment:
             generator=self.generator,
             seed=self.seed,
             fast=self.fast,
+            n_zones=self.n_zones,
         )
+
+    def zone_of(self, pod_serial: int) -> str:
+        """Zone label for pod ``pod_serial`` (round-robin across zones)."""
+        return f"zone-{pod_serial % self.n_zones}"
 
     def tenant_group(
         self,
@@ -147,6 +161,7 @@ class Deployment:
         autoscaler: Autoscaler | None = None,
         slo_p95_ttft_s: float | None = None,
         stream_label: object = None,
+        faults: FaultInjector | None = None,
     ) -> TenantGroup:
         """Embed this deployment as one tenant of a cluster co-simulation.
 
@@ -158,7 +173,7 @@ class Deployment:
         contends with other tenants for one inventory on one clock.
         """
         label = name if stream_label is None else stream_label
-        fleet = self._make_fleet(traffic, router, label, autoscaler)
+        fleet = self._make_fleet(traffic, router, label, autoscaler, faults)
         return TenantGroup(
             name=name,
             fleet=fleet,
@@ -193,6 +208,7 @@ class Deployment:
         router: Router | None,
         stream_label: object,
         autoscaler: Autoscaler | None = None,
+        faults: FaultInjector | None = None,
     ) -> FleetSimulator:
         """A fresh fleet over fresh pods and a seeded workload stream."""
         source = RequestSource(
@@ -208,6 +224,8 @@ class Deployment:
             autoscaler=autoscaler,
             pod_factory=self.pod_factory,
             fast=self.fast,
+            faults=faults,
+            zone_of=self.zone_of,
         )
 
     def fleet(
@@ -216,6 +234,7 @@ class Deployment:
         router: Router | None = None,
         stream_label: object = "deployment",
         autoscaler: Autoscaler | None = None,
+        faults: FaultInjector | None = None,
     ) -> FleetSimulator:
         """A ready-to-run fleet over this deployment (not yet started).
 
@@ -225,7 +244,7 @@ class Deployment:
         simulator (fresh pods, seeded workload stream, router and
         optional autoscaler) without running it.
         """
-        return self._make_fleet(traffic, router, stream_label, autoscaler)
+        return self._make_fleet(traffic, router, stream_label, autoscaler, faults)
 
     def simulate(
         self,
@@ -236,6 +255,7 @@ class Deployment:
         stream_label: object = "deployment",
         keep_samples: bool = True,
         autoscaler: Autoscaler | None = None,
+        faults: FaultInjector | None = None,
     ) -> FleetResult:
         """Co-simulate the deployment under an arbitrary traffic model.
 
@@ -248,7 +268,7 @@ class Deployment:
         work and retire), and the result carries the scale-event log,
         provisioned pod-seconds and shed/admitted counts.
         """
-        return self._make_fleet(traffic, router, stream_label, autoscaler).run(
+        return self._make_fleet(traffic, router, stream_label, autoscaler, faults).run(
             duration_s=duration_s, warmup_s=warmup_s, keep_samples=keep_samples
         )
 

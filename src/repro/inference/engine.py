@@ -102,6 +102,11 @@ class ContinuousBatchingEngine:
         self.admission_lookahead = admission_lookahead
         self.starvation_timeout_s = starvation_timeout_s
         self._rng = derive_rng(seed, "engine", llm.name, profile.name)
+        # Fault layer: a transient slowdown multiplies every step's cost.
+        # Exactly 1.0 outside fault windows, where ``x * 1.0 == x`` in
+        # IEEE-754 keeps fault-free runs bit-identical to an engine that
+        # never heard of faults.
+        self.slow_factor = 1.0
 
         self._time = 0.0
         self._queue: deque[tuple[InferenceRequest, float]] = deque()
@@ -244,6 +249,28 @@ class ContinuousBatchingEngine:
         """(ttft_seconds, input_tokens) for every first token served."""
         return self.metrics.ttft_samples()
 
+    def evacuate(self) -> tuple[list[InferenceRequest], list[InferenceRequest]]:
+        """Drop all queued and in-flight work (pod-crash support).
+
+        Returns ``(queued, active)`` requests in FIFO/admission order so
+        the fleet layer can requeue or count them lost. Scheduling state
+        (batch weight, KV residency, the fast core's mirrors) resets to
+        empty; virtual time and already-recorded metrics are untouched —
+        tokens streamed before the crash were really delivered.
+        """
+        queued = [request for request, _ in self._queue]
+        active = [a.request for a in self._active]
+        self._queue.clear()
+        self._active = []
+        self._batch_weight = 0
+        self._pending_weight = 0
+        self._kv_tokens = 0
+        self._soa_seqs = 0
+        self._soa_min_left = 0
+        self._admit_blocked = False
+        self._admit_scanned_all = False
+        return queued, active
+
     # ---- internals --------------------------------------------------------
 
     def _noise(self) -> float:
@@ -303,7 +330,7 @@ class ContinuousBatchingEngine:
         prompt_tokens = sum(
             a.request.input_tokens * a.request.batch_size for a in admitted
         )
-        dt = self.cost.prefill_time(prompt_tokens) * self._noise()
+        dt = self.cost.prefill_time(prompt_tokens) * self._noise() * self.slow_factor
         self._time += dt
         self.stats.busy_time_s += dt
 
@@ -363,7 +390,11 @@ class ContinuousBatchingEngine:
         stats.decode_steps += 1
         n = len(self._active)
         n_seqs = self._soa_seqs
-        dt = self.cost.decode_step_time(n_seqs, self._kv_tokens) * self._noise()
+        dt = (
+            self.cost.decode_step_time(n_seqs, self._kv_tokens)
+            * self._noise()
+            * self.slow_factor
+        )
         now = self._time + dt
         self._time = now
         stats.busy_time_s += dt
@@ -410,7 +441,11 @@ class ContinuousBatchingEngine:
             return self._decode_fast()
         self.stats.decode_steps += 1
         n_seqs = sum(a.request.batch_size for a in self._active)
-        dt = self.cost.decode_step_time(n_seqs, self._kv_tokens) * self._noise()
+        dt = (
+            self.cost.decode_step_time(n_seqs, self._kv_tokens)
+            * self._noise()
+            * self.slow_factor
+        )
         self._time += dt
         self.stats.busy_time_s += dt
         now = self._time

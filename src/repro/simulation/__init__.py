@@ -9,9 +9,20 @@ from synthetic :mod:`~repro.simulation.traffic` models or from recorded
 arrival logs replayed by :mod:`~repro.simulation.replay`, and whole
 experiments — fleet or cluster — are expressible as declarative
 :mod:`~repro.simulation.scenario` specs runnable from one config file.
+Deterministic fault injection (:mod:`~repro.simulation.faults`) layers
+pod crashes, transient slowdowns and zone outages onto any of these
+runs, and every result object speaks the common
+:class:`~repro.simulation.results.SimResult` protocol.
 """
 
+from repro.simulation.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+)
 from repro.simulation.metrics import LatencyStats, MetricsCollector
+from repro.simulation.results import SimResult, to_json
 from repro.simulation.traffic import (
     RequestSource,
     TrafficModel,
@@ -62,6 +73,12 @@ from repro.simulation.cluster import (
 from repro.simulation.scenario import ScenarioSpec, load_scenario
 
 __all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "SimResult",
+    "to_json",
     "EventFrontier",
     "committed_load",
     "least_loaded_pod",

@@ -37,12 +37,15 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
 from repro.hardware.pricing import PricingTable
 from repro.hardware.profile import parse_profile
+from repro.simulation.faults import FaultEvent
 from repro.simulation.fleet import FleetResult, FleetSimulator, ScaleEvent
+from repro.simulation.results import fault_event_dict, json_float
 
 __all__ = [
     "InventoryEvent",
@@ -184,7 +187,14 @@ class TenantGroup:
 
 @dataclass
 class ClusterResult:
-    """Per-tenant outcomes plus the cluster-level contention record."""
+    """Per-tenant outcomes plus the cluster-level contention record.
+
+    Implements the :class:`~repro.simulation.results.SimResult`
+    protocol (``kind``/``to_dict``/``summary``/``verify``), so the CLI
+    serializes it through the same path as a standalone fleet run.
+    """
+
+    kind: ClassVar[str] = "cluster"
 
     duration_s: float
     warmup_s: float
@@ -299,6 +309,114 @@ class ClusterResult:
         if slo is None:
             return None
         return bool(self.results[tenant].ttft.p95_s <= slo)
+
+    def fault_events(self) -> list[tuple[str, FaultEvent]]:
+        """Every fault event, attributed to its tenant, in time order."""
+        out = []
+        for tenant in self.tenants:
+            for event in self.results[tenant].fault_events:
+                out.append((tenant, event))
+        out.sort(key=lambda pair: pair[1].time_s)
+        return out
+
+    def recovery_time_s(self, tenant: str, window_s: float = 10.0) -> float | None:
+        """Tenant's post-fault recovery time against its declared SLO.
+
+        None when the tenant has no SLO, suffered no disruptive fault,
+        or the run dropped its samples (``keep_samples=False``).
+        """
+        slo = self.slos.get(tenant)
+        result = self.results[tenant]
+        if slo is None or result.metrics is None:
+            return None
+        return result.recovery_time_s(slo, window_s)
+
+    def degraded_slo_attainment(
+        self, tenant: str, window_s: float = 10.0
+    ) -> float | None:
+        """Tenant's post-fault windowed SLO attainment (None: see above)."""
+        slo = self.slos.get(tenant)
+        result = self.results[tenant]
+        if slo is None or result.metrics is None:
+            return None
+        return result.degraded_slo_attainment(slo, window_s)
+
+    def verify(self) -> None:
+        """Uniform SimResult name for :meth:`verify_conservation`."""
+        self.verify_conservation()
+
+    def to_dict(
+        self, pricing: PricingTable | None = None, window_s: float = 10.0
+    ) -> dict:
+        """The uniform JSON payload (see docs/cli.md for the schema).
+
+        Without a ``pricing`` table the per-tenant ``cost`` and cluster
+        ``total_cost`` fields are None.
+        """
+        cost = self.cost(pricing) if pricing is not None else None
+        tenants = []
+        for tenant in self.tenants:
+            result = self.results[tenant]
+            tenants.append(
+                {
+                    "name": tenant,
+                    "profile": self.profiles[tenant],
+                    "pods_end": self.end_provisioned[tenant],
+                    "arrivals": result.arrivals,
+                    "shed": result.shed,
+                    "lost": result.lost,
+                    "requeued": result.requeued,
+                    "requests_completed": result.requests_completed,
+                    "throughput_tokens_per_s": json_float(
+                        result.throughput_tokens_per_s
+                    ),
+                    "ttft_p95_s": json_float(result.ttft.p95_s),
+                    "meets_slo": self.meets_slo(tenant),
+                    "pod_seconds": result.pod_seconds,
+                    "cost": None if cost is None else cost[tenant],
+                    "recovery_time_s": json_float(
+                        self.recovery_time_s(tenant, window_s)
+                    ),
+                    "degraded_slo_attainment": json_float(
+                        self.degraded_slo_attainment(tenant, window_s)
+                    ),
+                }
+            )
+        return {
+            "kind": self.kind,
+            "duration_s": self.duration_s,
+            "capacity": dict(self.capacity),
+            "total_cost": None if cost is None else sum(cost.values()),
+            "peak_occupancy": self.peak_occupancy(),
+            "tenants": tenants,
+            "contended_scale_events": [
+                {
+                    "time_s": event.time_s,
+                    "tenant": tenant,
+                    "constraint": event.constraint,
+                    "from_pods": event.from_pods,
+                    "requested": event.requested,
+                    "to_pods": event.to_pods,
+                }
+                for tenant, event in self.contended_scale_events()
+            ],
+            "fault_events": [
+                {"tenant": tenant, **fault_event_dict(event)}
+                for tenant, event in self.fault_events()
+            ],
+        }
+
+    def summary(self) -> str:
+        """One-line human digest (uniform across SimResult kinds)."""
+        line = (
+            f"{len(self.tenants)} tenants ({self.duration_s:.0f}s): "
+            f"{self.arrivals_total} arrivals, "
+            f"{len(self.contended_scale_events())} contended scale-ups"
+        )
+        faults = self.fault_events()
+        if faults:
+            line += f", {len(faults)} fault events"
+        return line
 
     def verify_conservation(self) -> None:
         """Raise if any tenant leaked requests or the ledger went wrong.
@@ -436,18 +554,36 @@ class ClusterSimulator:
                     stepping, pod, t_next = group, candidate, candidate.time
             if stepping is None or t_next >= t_end:
                 break
-            # Autoscale decisions due anywhere in the cluster run before
-            # the frontier pod steps, in global virtual-time order —
-            # tenant A's release at t can fund tenant B's grant at t' > t.
+            # Control events (faults + autoscale decisions) due anywhere
+            # in the cluster run before the frontier pod steps, in
+            # global virtual-time order — tenant A's release at t can
+            # fund tenant B's grant at t' > t, and a zone outage frees
+            # capacity the same way. Within a tenant, a fault at the
+            # same instant as a decision fires first, so the decision
+            # observes the degraded fleet (exactly as the standalone
+            # fleet loop orders them).
+            faulted = False
             while True:
                 decider: TenantGroup | None = None
-                t_dec = float("inf")
+                t_ctl = float("inf")
+                is_fault = False
                 for group in self.tenants:
-                    if group.fleet.next_decision < t_dec:
-                        decider, t_dec = group, group.fleet.next_decision
-                if decider is None or t_dec > t_next or t_dec >= t_end:
+                    if group.fleet.next_fault < t_ctl:
+                        decider, t_ctl, is_fault = group, group.fleet.next_fault, True
+                    if group.fleet.next_decision < t_ctl:
+                        decider, t_ctl = group, group.fleet.next_decision
+                        is_fault = False
+                if decider is None or t_ctl > t_next or t_ctl >= t_end:
                     break
-                decider.fleet.autoscale_tick()
+                if is_fault:
+                    decider.fleet.fault_tick()
+                    faulted = True
+                else:
+                    decider.fleet.autoscale_tick()
+            if faulted and not pod.has_work():
+                # A fault crashed the frontier pod itself (or evacuated
+                # its work): re-resolve the global frontier.
+                continue
             stepping.fleet.step_pod(pod)
         for group in self.tenants:
             group.fleet.drain_pending()

@@ -32,16 +32,23 @@ from __future__ import annotations
 import heapq
 import time as _time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, ClassVar
 
 import numpy as np
 
+from repro.simulation.faults import FaultEvent, FaultInjector, FaultSpec
 from repro.simulation.frontier import (
     EventFrontier,
     committed_load,
     least_loaded_pod,
 )
 from repro.simulation.metrics import LatencyStats, MetricsCollector
+from repro.simulation.results import (
+    fault_event_dict,
+    json_float,
+    latency_dict,
+    scale_event_dict,
+)
 from repro.simulation.traffic import RequestSource, TrafficModel
 
 if TYPE_CHECKING:  # import cycle: the engine itself imports this package
@@ -273,6 +280,7 @@ class PodStats:
     ttft: LatencyStats
     itl: LatencyStats
     state: str = "serving"
+    zone: str = "zone-0"
 
 
 @dataclass
@@ -286,8 +294,16 @@ class FleetResult:
     completions of requests submitted inside the measured window (as the
     load-test harness reports), while ``completed_total`` counts every
     completion of the whole run — that is what conservation is stated
-    over, together with the work still in flight at the end.
+    over, together with the work still in flight at the end and the
+    requests a crash destroyed (``lost``). ``requeued`` counts crash
+    survivors re-offered to the front end; they are already part of the
+    arrival/admission tallies, so they inform no invariant, only scale.
+
+    Implements the :class:`~repro.simulation.results.SimResult`
+    protocol (``kind``/``to_dict``/``summary``/``verify``).
     """
+
+    kind: ClassVar[str] = "fleet"
 
     n_pods: int
     traffic: str
@@ -313,6 +329,9 @@ class FleetResult:
     scale_events: list[ScaleEvent] = field(default_factory=list, repr=False)
     per_pod: list[PodStats] = field(default_factory=list, repr=False)
     metrics: MetricsCollector | None = field(default=None, repr=False)
+    lost: int = 0
+    requeued: int = 0
+    fault_events: list[FaultEvent] = field(default_factory=list, repr=False)
 
     @property
     def pod_hours(self) -> float:
@@ -345,11 +364,153 @@ class FleetResult:
                 f"admission leak: admitted {self.admitted} + shed {self.shed} "
                 f"!= arrivals {self.arrivals}"
             )
-        if self.completed_total + self.in_flight_end != self.admitted:
+        if self.completed_total + self.in_flight_end + self.lost != self.admitted:
             raise ValueError(
                 f"request leak: completed {self.completed_total} + in-flight "
-                f"{self.in_flight_end} != admitted {self.admitted}"
+                f"{self.in_flight_end} + lost {self.lost} "
+                f"!= admitted {self.admitted}"
             )
+
+    def verify(self) -> None:
+        """Uniform SimResult name for :meth:`verify_conservation`."""
+        self.verify_conservation()
+
+    def ttft_p95_series(self, window_s: float = 10.0) -> tuple[np.ndarray, np.ndarray]:
+        """(window_start_s, p95 TTFT) arrays; needs ``keep_samples=True``."""
+        if self.metrics is None:
+            raise ValueError(
+                "windowed recovery metrics need a run with keep_samples=True"
+            )
+        return self.metrics.ttft_p95_series(window_s)
+
+    def recovery_time_s(
+        self, slo_p95_ttft_s: float, window_s: float = 10.0
+    ) -> float | None:
+        """Worst-case post-fault SLO recovery time, in seconds.
+
+        For every disruptive fault event, the time from the fault to the
+        end of the first sampled window starting at or after it whose
+        windowed p95 TTFT is back within ``slo_p95_ttft_s``. Returns the
+        worst across faults, ``inf`` when some fault's tail never
+        re-entered the SLO in the observed windows, and None for a
+        fault-free run. Needs ``keep_samples=True``.
+        """
+        disruptive = [e for e in self.fault_events if e.disruptive]
+        if not disruptive:
+            return None
+        starts, tails = self.ttft_p95_series(window_s)
+        worst = 0.0
+        for event in disruptive:
+            recovered = float("inf")
+            for start, tail in zip(starts, tails):
+                if start < event.time_s:
+                    continue
+                if tail <= slo_p95_ttft_s:
+                    recovered = start + window_s - event.time_s
+                    break
+            worst = max(worst, recovered)
+        return worst
+
+    def degraded_slo_attainment(
+        self, slo_p95_ttft_s: float, window_s: float = 10.0
+    ) -> float | None:
+        """Fraction of post-first-fault windows whose p95 TTFT met the SLO.
+
+        None for a fault-free run or when no window overlaps the
+        degraded span. Needs ``keep_samples=True``.
+        """
+        disruptive = [e for e in self.fault_events if e.disruptive]
+        if not disruptive:
+            return None
+        first_fault = min(e.time_s for e in disruptive)
+        starts, tails = self.ttft_p95_series(window_s)
+        overlapping = starts + window_s > first_fault
+        if not overlapping.any():
+            return None
+        return float(np.mean(tails[overlapping] <= slo_p95_ttft_s))
+
+    def to_dict(
+        self, slo_p95_ttft_s: float | None = None, window_s: float = 10.0
+    ) -> dict:
+        """The uniform JSON payload (see docs/cli.md for the schema).
+
+        The ``recovery`` block is populated when an SLO is given, the
+        run kept its samples, and at least one fault event fired;
+        otherwise it is None.
+        """
+        recovery = None
+        if (
+            slo_p95_ttft_s is not None
+            and self.metrics is not None
+            and any(e.disruptive for e in self.fault_events)
+        ):
+            recovery = {
+                "slo_p95_ttft_s": float(slo_p95_ttft_s),
+                "window_s": float(window_s),
+                "recovery_time_s": json_float(
+                    self.recovery_time_s(slo_p95_ttft_s, window_s)
+                ),
+                "degraded_slo_attainment": json_float(
+                    self.degraded_slo_attainment(slo_p95_ttft_s, window_s)
+                ),
+            }
+        return {
+            "kind": self.kind,
+            "n_pods": self.n_pods,
+            "traffic": self.traffic,
+            "router": self.router,
+            "duration_s": self.duration_s,
+            "warmup_s": self.warmup_s,
+            "time_s": self.time_s,
+            "arrivals": self.arrivals,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "deferrals": self.deferrals,
+            "requests_completed": self.requests_completed,
+            "completed_total": self.completed_total,
+            "in_flight_end": self.in_flight_end,
+            "lost": self.lost,
+            "requeued": self.requeued,
+            "tokens_generated": self.tokens_generated,
+            "throughput_tokens_per_s": json_float(self.throughput_tokens_per_s),
+            "pod_seconds": self.pod_seconds,
+            "ttft": latency_dict(self.ttft),
+            "itl": latency_dict(self.itl),
+            "e2e": latency_dict(self.e2e),
+            "scale_events": [scale_event_dict(e) for e in self.scale_events],
+            "fault_events": [fault_event_dict(e) for e in self.fault_events],
+            "recovery": recovery,
+            "per_pod": [
+                {
+                    "pod": p.pod,
+                    "zone": p.zone,
+                    "state": p.state,
+                    "arrivals_routed": p.arrivals_routed,
+                    "requests_completed": p.requests_completed,
+                    "tokens_generated": p.tokens_generated,
+                    "throughput_tokens_per_s": json_float(p.throughput_tokens_per_s),
+                    "queue_depth_end": p.queue_depth_end,
+                    "active_requests_end": p.active_requests_end,
+                }
+                for p in self.per_pod
+            ],
+        }
+
+    def summary(self) -> str:
+        """One-line human digest (uniform across SimResult kinds)."""
+        line = (
+            f"{self.n_pods} pods ({self.traffic}/{self.router}, "
+            f"{self.duration_s:.0f}s): {self.arrivals} arrivals, "
+            f"{self.requests_completed} completed, "
+            f"{self.throughput_tokens_per_s:.1f} tok/s, "
+            f"TTFT p95 {self.ttft.p95_s:.3f}s"
+        )
+        if self.fault_events:
+            line += (
+                f", {len(self.fault_events)} fault events "
+                f"({self.requeued} requeued, {self.lost} lost)"
+            )
+        return line
 
     def as_row(self) -> dict[str, float]:
         row = {
@@ -384,11 +545,15 @@ class FleetSimulator:
         autoscaler: "Autoscaler | None" = None,
         pod_factory: Callable[[int], "ContinuousBatchingEngine"] | None = None,
         fast: bool = True,
+        faults: FaultInjector | None = None,
+        zone_of: Callable[[int], str] | None = None,
     ) -> None:
         if not pods:
             raise ValueError("FleetSimulator needs at least one pod")
         if autoscaler is not None and pod_factory is None:
             raise ValueError("an autoscaled fleet needs a pod_factory")
+        if faults is not None and faults.needs_factory and pod_factory is None:
+            raise ValueError("faults with restart_delay_s need a pod_factory")
         self.pods = list(pods)
         self.traffic = traffic
         self.router = router
@@ -428,6 +593,19 @@ class FleetSimulator:
         self._warmed_up = True
         self._warmup_s = 0.0
         self._next_decision = float("inf")
+        # Fault layer (simulation.faults): a seeded injector feeds the
+        # run loop crash / slowdown / zone-outage events on the shared
+        # clock; zone_of maps a pod serial to its zone label (restart
+        # replacements inherit the crashed pod's zone via overrides).
+        self.faults = faults
+        self._zone_of = zone_of
+        self._zone_overrides: dict[int, str] = {}
+        self.fault_events: list[FaultEvent] = []
+        self.lost = 0
+        self.requeued = 0
+        self._crashed: set[int] = set()
+        self._slow_targets: dict[int, list[int]] = {}
+        self._next_fault = float("inf")
         # Fast core: O(log pods) frontier lookups through a lazily
         # invalidated heap instead of the oracle's O(pods) min() scans.
         # Bit-identical by construction (see simulation.frontier); the
@@ -519,8 +697,29 @@ class FleetSimulator:
             stepping = peek()
             if stepping is None or stepping._time >= t_end:
                 break
-            while self._next_decision <= stepping._time and self._next_decision < t_end:
-                self.autoscale_tick()
+            # Faults and autoscale decisions are both control events on
+            # the shared clock; the earlier fires first, a fault winning
+            # same-instant ties so the decision observes the degraded
+            # fleet. With no injector ``_next_fault`` is inf and this is
+            # the plain decision loop, bit-identical to the pre-fault
+            # simulator.
+            faulted = False
+            while True:
+                if self._next_fault <= self._next_decision:
+                    due, is_fault = self._next_fault, True
+                else:
+                    due, is_fault = self._next_decision, False
+                if due > stepping._time or due >= t_end:
+                    break
+                if is_fault:
+                    self.fault_tick()
+                    faulted = True
+                else:
+                    self.autoscale_tick()
+            if faulted and not stepping.has_work():
+                # A control event crashed the frontier pod itself (or
+                # evacuated its work): re-resolve the frontier.
+                continue
             step_pod(stepping)
         self.drain_pending()
         if not assemble_result:
@@ -556,6 +755,17 @@ class FleetSimulator:
             if self.autoscaler is not None
             else float("inf")
         )
+        self.fault_events = []
+        self.lost = 0
+        self.requeued = 0
+        self._crashed = set()
+        self._zone_overrides = {}
+        self._slow_targets = {}
+        if self.faults is not None:
+            self.faults.begin()
+            self._next_fault = self.faults.next_time
+        else:
+            self._next_fault = float("inf")
         for request in self.traffic.initial_arrivals(self.source):
             self._dispatch(request, 0.0)
         # Where the router placed the initial population (for closed-loop
@@ -598,6 +808,34 @@ class FleetSimulator:
         """Run the decision due at ``next_decision`` and schedule the next."""
         self._autoscale_tick(self._next_decision)
         self._next_decision += self.autoscaler.config.decision_interval_s
+
+    @property
+    def next_fault(self) -> float:
+        """Virtual time of the next fault event (inf when none)."""
+        return self._next_fault
+
+    def fault_tick(self) -> None:
+        """Apply the fault due at ``next_fault`` and schedule the next.
+
+        Part of the co-simulation interface: the cluster loop orders
+        fault ticks and autoscale decisions across all tenants in global
+        virtual-time order, exactly as :meth:`run` does for one fleet.
+        """
+        t, action, index, spec = self.faults.pop()
+        if action == "slow-start":
+            self._fault_slow_start(spec, t, index)
+        elif action == "slow-end":
+            self._fault_slow_end(spec, t, index)
+        else:
+            self._fault_crash(spec, t, action)
+        self._next_fault = self.faults.next_time
+
+    def pod_zone(self, serial: int) -> str:
+        """Zone label of pod ``serial`` (restart replacements inherit)."""
+        zone = self._zone_overrides.get(serial)
+        if zone is not None:
+            return zone
+        return self._zone_of(serial) if self._zone_of is not None else "zone-0"
 
     def step_pod(self, stepping: "ContinuousBatchingEngine") -> None:
         """Step the frontier pod once; handle its completions."""
@@ -714,6 +952,22 @@ class FleetSimulator:
         if pod_hint is not None and pod_hint in self._routable:
             pod = self._all_pods[pod_hint]
         if pod is None:
+            if not self.pods:
+                # Every routable pod is down (zone outage). Park the
+                # arrival until the first replacement activates; with no
+                # restart or scale-up pending it can never be served.
+                if not self._starting:
+                    raise ValueError(
+                        "no routable pods and no restart pending: a fault "
+                        "killed the whole fleet"
+                    )
+                ready = self._starting[0][0]
+                self._seq += 1
+                heapq.heappush(
+                    self._pending,
+                    (max(arrival_time, ready), self._seq, None, request, True),
+                )
+                return
             if pod_hint is None and not force and self._admission is not None:
                 decision = self._admission.admit(request, arrival_time, self.pods)
                 if decision == "shed":
@@ -746,6 +1000,152 @@ class FleetSimulator:
             # pod's clock never moves on submit.
             self._frontier.push(pod)
         self.routed_counts[self._serials[id(pod)]] += 1
+
+    # ---- fault handling ---------------------------------------------------
+
+    def _fault_serials(self, spec: FaultSpec) -> list[int]:
+        """In-service pod serials the fault spec resolves to, sorted.
+
+        Explicit ``pod`` targets apply only while that pod is in service
+        (a crashed or retired pod cannot crash again); ``zone`` targets
+        hit every in-service pod in the zone; untargeted specs draw one
+        seeded-random victim from the injector's stream.
+        """
+        serials = sorted(
+            self._routable | {self._serials[id(pod)] for pod in self._draining}
+        )
+        if spec.pod is not None:
+            return [spec.pod] if spec.pod in serials else []
+        if spec.zone is not None:
+            return [s for s in serials if self.pod_zone(s) == spec.zone]
+        if not serials:
+            return []
+        return [self.faults.pick_victim(serials)]
+
+    def _fault_crash(self, spec: FaultSpec, t: float, kind: str) -> None:
+        """Kill every pod the spec resolves to at virtual time ``t``.
+
+        In-flight work is requeued (a client retry: it re-enters the
+        front end at the crash instant, passes admission again, and its
+        latency clock restarts) or counted lost, per ``spec.mode``. With
+        ``restart_delay_s`` a replacement engine cold-starts in the
+        crashed pod's zone on the same held capacity — the hardware
+        reboots in place, so no inventory transaction occurs; without a
+        restart the capacity is released back to the ledger. Draining
+        pods can crash too (their residual work is destroyed the same
+        way) but are never restarted — the autoscaler had already
+        retired them.
+        """
+        self._bill(t)
+        restart = spec.restart_delay_s
+        # A zone outage also hits pods still cold-starting in the zone:
+        # a permanent outage cancels them (capacity released), one with
+        # a restart window just pushes their ready time out.
+        if spec.zone is not None and self._starting:
+            keep: list[tuple[float, int, "ContinuousBatchingEngine"]] = []
+            cancelled = 0
+            for ready, serial, pod in self._starting:
+                if self.pod_zone(serial) != spec.zone:
+                    keep.append((ready, serial, pod))
+                elif restart is None:
+                    cancelled += 1
+                else:
+                    keep.append((max(ready, t + restart), serial, pod))
+            if len(keep) != len(self._starting) or restart is not None:
+                self._starting = sorted(keep, key=lambda e: (e[0], e[1]))
+            if cancelled and self._release is not None:
+                self._release(cancelled, t)
+        crashed = 0
+        for serial in self._fault_serials(spec):
+            pod = self._all_pods[serial]
+            if serial in self._routable:
+                role = "serving"
+                self.pods.remove(pod)
+                self._routable.discard(serial)
+            elif pod in self._draining:
+                role = "draining"
+                self._draining.remove(pod)
+            else:  # pragma: no cover - _fault_serials only yields in-service
+                continue
+            crashed += 1
+            self._crashed.add(serial)
+            queued, active = pod.evacuate()
+            requeued = lost = 0
+            if spec.mode == "lose":
+                lost = len(queued) + len(active)
+                self.lost += lost
+            else:
+                for request in queued + active:
+                    self._seq += 1
+                    heapq.heappush(self._pending, (t, self._seq, None, request, True))
+                requeued = len(queued) + len(active)
+                self.requeued += requeued
+            restart_s = None
+            if restart is not None and role == "serving":
+                restart_s = t + restart
+                new_serial = len(self._all_pods)
+                replacement = self.pod_factory(new_serial)
+                if replacement.time > 0 or replacement.has_work():
+                    raise ValueError("pod_factory must return fresh engines")
+                self._all_pods.append(replacement)
+                self._serials[id(replacement)] = new_serial
+                self.routed_counts.append(0)
+                self._zone_overrides[new_serial] = self.pod_zone(serial)
+                self._starting.append((restart_s, new_serial, replacement))
+            elif self._release is not None:
+                self._release(1, t)
+            self.fault_events.append(
+                FaultEvent(
+                    time_s=t,
+                    kind=kind,
+                    pod=serial,
+                    zone=self.pod_zone(serial),
+                    requeued=requeued,
+                    lost=lost,
+                    restart_s=restart_s,
+                )
+            )
+        if crashed:
+            if restart is not None:
+                self._starting.sort(key=lambda e: (e[0], e[1]))
+            if self.fast:
+                self._frontier.rebuild(self._in_service())
+        else:
+            # Nothing in service matched (empty zone, pod already gone):
+            # record the scheduled event so fault schedules stay visible.
+            self.fault_events.append(
+                FaultEvent(time_s=t, kind=kind, pod=spec.pod, zone=spec.zone)
+            )
+
+    def _fault_slow_start(self, spec: FaultSpec, t: float, index: int) -> None:
+        """Open a slowdown window: multiply the victims' step costs."""
+        targets = self._fault_serials(spec)
+        self._slow_targets[index] = targets
+        for serial in targets:
+            self._all_pods[serial].slow_factor = spec.factor
+            self.fault_events.append(
+                FaultEvent(
+                    time_s=t,
+                    kind="slowdown-start",
+                    pod=serial,
+                    zone=self.pod_zone(serial),
+                    factor=spec.factor,
+                )
+            )
+
+    def _fault_slow_end(self, spec: FaultSpec, t: float, index: int) -> None:
+        """Close a slowdown window opened by the matching slow-start."""
+        for serial in self._slow_targets.pop(index, []):
+            self._all_pods[serial].slow_factor = 1.0
+            self.fault_events.append(
+                FaultEvent(
+                    time_s=t,
+                    kind="slowdown-end",
+                    pod=serial,
+                    zone=self.pod_zone(serial),
+                    factor=1.0,
+                )
+            )
 
     # ---- elasticity -------------------------------------------------------
 
@@ -822,11 +1222,20 @@ class FleetSimulator:
                 self._serials[id(pod)] = serial
                 self.routed_counts.append(0)
                 self._starting.append((t + cold, serial, pod))
+            # Appends are monotone in the fault-free world, but a zone
+            # outage may have pushed an older entry's ready time past
+            # these; _activate_ready pops from the front, so keep the
+            # list ready-ordered (a no-op sort when already sorted).
+            self._starting.sort(key=lambda e: (e[0], e[1]))
         else:
             delta = current - desired
-            # Cancel pods still cold-starting first (newest first)...
+            # Cancel pods still cold-starting first (newest first) —
+            # but never the last provisioned pod: after a fault emptied
+            # the routable set, the earliest cold start is the only
+            # path back to service. (Fault-free, pods is never empty,
+            # so this guard cannot bind.)
             cancelled = 0
-            while delta and self._starting:
+            while delta and self._starting and len(self.pods) + len(self._starting) > 1:
                 self._starting.pop()
                 cancelled += 1
                 delta -= 1
@@ -906,7 +1315,9 @@ class FleetSimulator:
             completed = [
                 r for r in pod.metrics.completed if r.submitted_at >= warmup_s
             ]
-            if serial in self._routable:
+            if serial in self._crashed:
+                state = "crashed"
+            elif serial in self._routable:
                 state = "serving"
             elif id(pod) in draining:
                 state = "draining"
@@ -927,6 +1338,7 @@ class FleetSimulator:
                     ttft=pod.metrics.ttft_stats(),
                     itl=pod.metrics.itl_stats(),
                     state=state,
+                    zone=self.pod_zone(serial),
                 )
             )
         in_flight = sum(
@@ -952,6 +1364,9 @@ class FleetSimulator:
             sim_events=self._events,
             wall_time_s=_time.perf_counter() - self._wall_start,
             scale_events=list(self.scale_events),
+            lost=self.lost,
+            requeued=self.requeued,
+            fault_events=list(self.fault_events),
             ttft=merged.ttft_stats(),
             itl=merged.itl_stats(),
             e2e=LatencyStats.from_samples(merged.e2e_samples(warmup_s)),

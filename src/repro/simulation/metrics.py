@@ -229,6 +229,30 @@ class MetricsCollector:
     def e2e_stats(self) -> LatencyStats:
         return LatencyStats.from_samples(self.e2e_samples())
 
+    def ttft_p95_series(self, window_s: float = 10.0) -> tuple[np.ndarray, np.ndarray]:
+        """(window_start_s, p95 TTFT) over fixed windows of record time.
+
+        Windows with no first-token record are omitted (an idle window
+        has no tail). Bins by each sample's recorded virtual time, which
+        needs no sort order — merged multi-pod collectors work too. This
+        is the primitive fault-recovery metrics are computed from:
+        recovery is the first post-fault window whose p95 re-enters the
+        SLO.
+        """
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        times = self._ttft_times.values()
+        if times.size == 0:
+            return np.empty(0), np.empty(0)
+        samples = self._ttft.values()
+        windows = np.floor_divide(times, window_s).astype(np.int64)
+        starts = []
+        tails = []
+        for window in np.unique(windows):
+            starts.append(window * window_s)
+            tails.append(float(np.percentile(samples[windows == window], 95.0)))
+        return np.asarray(starts, dtype=float), np.asarray(tails)
+
     def throughput_timeseries(self) -> tuple[np.ndarray, np.ndarray]:
         """(window_start_s, tokens_per_s) arrays over the recorded run."""
         if not self._window_tokens:

@@ -1,0 +1,106 @@
+"""Unified result surface: the ``SimResult`` protocol + one serializer.
+
+``FleetResult`` and ``ClusterResult`` grew up separately, and the CLI
+grew a hand-rolled JSON emitter per subcommand alongside them. This
+module is the shared contract both result types now implement:
+
+* :class:`SimResult` — the protocol every runnable result satisfies:
+  a ``kind`` tag, ``to_dict()`` (the one JSON payload, stable schema
+  documented in ``docs/cli.md``), ``summary()`` (a one-line human
+  digest) and ``verify()`` (the conservation check under its uniform
+  name);
+* the field serializers (:func:`latency_dict`,
+  :func:`scale_event_dict`, :func:`fault_event_dict`) so latency
+  tails, scale events and fault events serialize identically wherever
+  they appear;
+* :func:`to_json` — the single emitter ``repro-pilot simulate`` /
+  ``autoscale`` / ``cluster-sim --json`` all flow through.
+
+Everything here is duck-typed on purpose: the module imports none of
+the simulation layers, so it can be shared by all of them without
+import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "SimResult",
+    "json_float",
+    "latency_dict",
+    "scale_event_dict",
+    "fault_event_dict",
+    "to_json",
+]
+
+
+@runtime_checkable
+class SimResult(Protocol):
+    """What every runnable simulation result exposes.
+
+    ``kind`` tags the payload (``"fleet"`` / ``"cluster"``) so tooling
+    can dispatch on one field; ``to_dict`` returns the JSON-safe
+    payload (NaN/inf replaced by ``None``), ``summary`` a one-line
+    human digest and ``verify`` raises on any conservation violation.
+    """
+
+    kind: str
+
+    def to_dict(self, **options) -> dict: ...
+
+    def summary(self) -> str: ...
+
+    def verify(self) -> None: ...
+
+
+def json_float(value: float | None) -> float | None:
+    """NaN/inf -> None: bare non-finite floats are not strict JSON."""
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def latency_dict(stats) -> dict:
+    """One latency tail (:class:`~repro.simulation.metrics.LatencyStats`)."""
+    return {
+        "count": int(stats.count),
+        "median_s": json_float(stats.median_s),
+        "p95_s": json_float(stats.p95_s),
+        "p99_s": json_float(stats.p99_s),
+        "mean_s": json_float(stats.mean_s),
+    }
+
+
+def scale_event_dict(event) -> dict:
+    """One autoscaler decision (:class:`~repro.simulation.fleet.ScaleEvent`)."""
+    return {
+        "time_s": event.time_s,
+        "from_pods": event.from_pods,
+        "to_pods": event.to_pods,
+        "reason": event.reason,
+        "requested": event.requested,
+        "constraint": event.constraint,
+    }
+
+
+def fault_event_dict(event) -> dict:
+    """One applied fault (:class:`~repro.simulation.faults.FaultEvent`)."""
+    return {
+        "time_s": event.time_s,
+        "kind": event.kind,
+        "pod": event.pod,
+        "zone": event.zone,
+        "requeued": event.requeued,
+        "lost": event.lost,
+        "factor": event.factor,
+        "restart_s": event.restart_s,
+    }
+
+
+def to_json(result: SimResult, **options) -> str:
+    """The one JSON emitter: ``result.to_dict(**options)``, indented."""
+    return json.dumps(result.to_dict(**options), indent=2)

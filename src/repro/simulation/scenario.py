@@ -29,7 +29,10 @@ recorded arrival log (a CSV/JSONL path, inline ``arrivals`` rows, or a
 horizon and seeded-bootstrap knobs. Adding a ``tenants`` list (plus a
 GPU ``capacity`` map) turns the spec into a multi-tenant cluster
 co-simulation; tenant entries inherit the top-level fields they do not
-override. See ``docs/scenarios.md`` for the full reference.
+override. A ``faults`` section (``seed`` / ``zones`` / ``events``)
+injects deterministic pod crashes, transient slowdowns and zone
+outages into the run. See ``docs/scenarios.md`` for the full
+reference.
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ from repro.simulation.autoscale import (
     TargetUtilizationPolicy,
     ThresholdPolicy,
 )
+from repro.simulation.faults import FaultInjector, FaultSpec
 from repro.simulation.fleet import ROUTERS, FleetResult, FleetSimulator, Router
 from repro.simulation.replay import ArrivalLog, ReplayTraffic
 from repro.simulation.traffic import (
@@ -57,7 +61,7 @@ from repro.simulation.traffic import (
     PoissonTraffic,
     TrafficModel,
 )
-from repro.utils.rng import derive_rng
+from repro.utils.rng import derive_rng, spawn_seed
 
 if TYPE_CHECKING:
     from repro.simulation.cluster import ClusterResult, ClusterSimulator
@@ -68,11 +72,11 @@ __all__ = ["ScenarioSpec", "load_scenario"]
 _TOP_KEYS = set(
     "name seed duration_s warmup_s llm profile pods max_batch_weight "
     "workload traffic router admission autoscaler slo_ttft_ms tenants "
-    "capacity".split()
+    "capacity faults".split()
 )
 _TENANT_KEYS = set(
     "name llm profile pods max_batch_weight traffic router admission "
-    "autoscaler slo_ttft_ms".split()
+    "autoscaler slo_ttft_ms faults".split()
 )
 _TRAFFIC_KEYS = {
     "closed": {"users", "sticky"},
@@ -90,6 +94,12 @@ _AUTOSCALER_KEYS = set(
     "slo_ttft_ms target requests_per_pod_per_s".split()
 )
 _WORKLOAD_KEYS = {"traces", "requests"}
+_FAULTS_KEYS = {"seed", "zones", "events"}
+_FAULT_EVENT_KEYS = {
+    "crash": {"time_s", "pod", "mode", "restart_delay_s"},
+    "slowdown": {"time_s", "pod", "zone", "duration_s", "factor"},
+    "zone-outage": {"time_s", "zone", "mode", "restart_delay_s"},
+}
 
 
 def _check_keys(mapping: dict, allowed: set[str], where: str) -> None:
@@ -99,6 +109,26 @@ def _check_keys(mapping: dict, allowed: set[str], where: str) -> None:
             f"unknown key(s) in {where}: {sorted(unknown)}; "
             f"allowed: {sorted(allowed)}"
         )
+
+
+def _fault_spec(event: dict) -> FaultSpec:
+    """One validated :class:`FaultSpec` from a scenario ``events`` entry."""
+    return FaultSpec(
+        kind=str(event["kind"]),
+        time_s=float(event["time_s"]),
+        pod=(None if event.get("pod") is None else int(event["pod"])),
+        zone=(None if event.get("zone") is None else str(event["zone"])),
+        mode=str(event.get("mode", "requeue")),
+        restart_delay_s=(
+            None
+            if event.get("restart_delay_s") is None
+            else float(event["restart_delay_s"])
+        ),
+        duration_s=(
+            None if event.get("duration_s") is None else float(event["duration_s"])
+        ),
+        factor=(None if event.get("factor") is None else float(event["factor"])),
+    )
 
 
 @dataclass
@@ -126,6 +156,7 @@ class ScenarioSpec:
     admission: dict | None = None
     autoscaler: dict | None = None
     slo_ttft_ms: float | None = None
+    faults: dict | None = None
     tenants: list[dict] = field(default_factory=list)
     capacity: dict[str, int] = field(default_factory=dict)
 
@@ -154,6 +185,7 @@ class ScenarioSpec:
             admission=spec.get("admission"),
             autoscaler=spec.get("autoscaler"),
             slo_ttft_ms=(float(spec["slo_ttft_ms"]) if "slo_ttft_ms" in spec else None),
+            faults=spec.get("faults"),
             tenants=[dict(t) for t in spec.get("tenants") or []],
             capacity={str(k): int(v) for k, v in (spec.get("capacity") or {}).items()},
         )
@@ -163,73 +195,112 @@ class ScenarioSpec:
     @classmethod
     def load(cls, path: str) -> "ScenarioSpec":
         """Parse a scenario file: ``.json`` always, ``.yaml``/``.yml``
-        when PyYAML is importable (a clear error otherwise)."""
+        when PyYAML is importable (a clear error otherwise).
+
+        Parse and validation errors are re-raised with ``path`` prefixed
+        so a failure inside a batch of spec files names its file.
+        """
         with open(path) as fh:
             text = fh.read()
-        if path.endswith((".yaml", ".yml")):
-            try:
-                import yaml
-            except ImportError as exc:  # pragma: no cover - env dependent
-                raise ValueError(
-                    f"{path!r} is a YAML scenario but PyYAML is not "
-                    "installed; use a .json spec or install pyyaml"
-                ) from exc
-            raw = yaml.safe_load(text)
-        else:
-            raw = json.loads(text)
-        return cls.from_dict(raw)
+        try:
+            if path.endswith((".yaml", ".yml")):
+                try:
+                    import yaml
+                except ImportError as exc:  # pragma: no cover - env dependent
+                    raise ValueError(
+                        f"is a YAML scenario but PyYAML is not "
+                        "installed; use a .json spec or install pyyaml"
+                    ) from exc
+                raw = yaml.safe_load(text)
+            else:
+                raw = json.loads(text)
+            return cls.from_dict(raw)
+        except (ValueError, TypeError) as exc:
+            raise ValueError(f"{path}: {exc}") from exc
 
     def _validate(self) -> None:
-        if self.duration_s <= 0:
-            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
-        if self.warmup_s < 0:
-            raise ValueError(f"warmup_s must be >= 0, got {self.warmup_s}")
-        if self.pods < 1:
-            raise ValueError(f"pods must be >= 1, got {self.pods}")
-        _check_keys(self.workload, _WORKLOAD_KEYS, "workload")
+        """Check every section, collecting failures so a bad spec reports
+        all of its problems in one ``ValueError`` (joined with ``; ``)
+        instead of one per edit-run-fix round trip. A spec with a single
+        problem raises exactly the message that check always raised."""
+        errors: list[str] = []
+
+        def check(fn, *args) -> None:
+            try:
+                fn(*args)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        def require(ok: bool, message: str) -> None:
+            if not ok:
+                errors.append(message)
+
+        require(
+            self.duration_s > 0,
+            f"duration_s must be positive, got {self.duration_s}",
+        )
+        require(self.warmup_s >= 0, f"warmup_s must be >= 0, got {self.warmup_s}")
+        require(self.pods >= 1, f"pods must be >= 1, got {self.pods}")
+        check(_check_keys, self.workload, _WORKLOAD_KEYS, "workload")
+        check(self._validate_faults, self.faults, "scenario faults")
         if self.tenants:
-            if not self.capacity:
-                raise ValueError("a cluster scenario (tenants) needs a capacity map")
+            require(
+                bool(self.capacity),
+                "a cluster scenario (tenants) needs a capacity map",
+            )
             names = []
             for tenant in self.tenants:
-                _check_keys(tenant, _TENANT_KEYS, "tenant")
+                check(_check_keys, tenant, _TENANT_KEYS, "tenant")
                 if "name" not in tenant:
-                    raise ValueError("every tenant needs a name")
+                    errors.append("every tenant needs a name")
+                    continue
                 names.append(tenant["name"])
-                self._validate_traffic(
-                    tenant.get("traffic", self.traffic), f"tenant {tenant['name']!r}"
+                check(
+                    self._validate_traffic,
+                    tenant.get("traffic", self.traffic),
+                    f"tenant {tenant['name']!r}",
                 )
-            if len(set(names)) != len(names):
-                raise ValueError(f"duplicate tenant names: {names}")
+                if "faults" in tenant:
+                    check(
+                        self._validate_faults,
+                        tenant["faults"],
+                        f"tenant {tenant['name']!r} faults",
+                    )
+            require(
+                len(set(names)) == len(names), f"duplicate tenant names: {names}"
+            )
         else:
-            self._validate_traffic(self.traffic, "scenario")
+            check(self._validate_traffic, self.traffic, "scenario")
         for section in (self.admission, *(t.get("admission") for t in self.tenants)):
             if section is not None:
-                _check_keys(section, _ADMISSION_KEYS, "admission")
+                check(_check_keys, section, _ADMISSION_KEYS, "admission")
         for section in (self.autoscaler, *(t.get("autoscaler") for t in self.tenants)):
             if section is not None:
-                _check_keys(section, _AUTOSCALER_KEYS, "autoscaler")
+                check(_check_keys, section, _AUTOSCALER_KEYS, "autoscaler")
                 policy = section.get("policy", "threshold")
-                if policy not in AUTOSCALE_POLICIES:
-                    raise ValueError(
-                        f"unknown autoscaler policy {policy!r}; "
-                        f"known: {sorted(AUTOSCALE_POLICIES)}"
-                    )
+                require(
+                    policy in AUTOSCALE_POLICIES,
+                    f"unknown autoscaler policy {policy!r}; "
+                    f"known: {sorted(AUTOSCALE_POLICIES)}",
+                )
         for router in (self.router, *(t.get("router") for t in self.tenants)):
             if router is None:
                 continue
             kind = router.get("kind") if isinstance(router, dict) else router
             if kind not in ROUTERS:
-                raise ValueError(f"unknown router {kind!r}; known: {sorted(ROUTERS)}")
-            if isinstance(router, dict):
+                errors.append(f"unknown router {kind!r}; known: {sorted(ROUTERS)}")
+            elif isinstance(router, dict):
                 accepted = set(
                     inspect.signature(ROUTERS[kind].__init__).parameters
                 ) - {"self"}
-                _check_keys(
+                check(
+                    _check_keys,
                     {k: v for k, v in router.items() if k != "kind"},
                     accepted,
                     f"router[{kind}]",
                 )
+        if errors:
+            raise ValueError("; ".join(errors))
 
     @staticmethod
     def _validate_traffic(traffic: dict | None, where: str) -> None:
@@ -262,6 +333,42 @@ class ScenarioSpec:
                     f"replay 'llm' in {where} only applies to a 'trace' "
                     "source (CSV/JSONL logs are already per-service)"
                 )
+
+    @staticmethod
+    def _validate_faults(section: dict | None, where: str) -> None:
+        if section is None:
+            return
+        if not isinstance(section, dict):
+            raise ValueError(f"{where} must be a mapping, got {type(section)}")
+        _check_keys(section, _FAULTS_KEYS, where)
+        if int(section.get("zones", 1)) < 1:
+            raise ValueError(f"{where} zones must be >= 1, got {section['zones']}")
+        events = section.get("events", [])
+        if not isinstance(events, list):
+            raise ValueError(f"{where} events must be a list, got {type(events)}")
+        for i, event in enumerate(events):
+            label = f"{where} event[{i}]"
+            if not isinstance(event, dict) or "kind" not in event:
+                raise ValueError(f"{label} needs a mapping with a 'kind'")
+            kind = event["kind"]
+            if kind not in _FAULT_EVENT_KEYS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r} in {label}; "
+                    f"known: {sorted(_FAULT_EVENT_KEYS)}"
+                )
+            _check_keys(
+                {k: v for k, v in event.items() if k != "kind"},
+                _FAULT_EVENT_KEYS[kind],
+                label,
+            )
+            if "time_s" not in event:
+                raise ValueError(f"{label} needs a time_s")
+            try:
+                # Field semantics (pod-vs-zone targeting, slowdown knobs,
+                # positive delays) are FaultSpec's own contract.
+                _fault_spec(event)
+            except ValueError as exc:
+                raise ValueError(f"{label}: {exc}") from exc
 
     @property
     def is_cluster(self) -> bool:
@@ -420,8 +527,37 @@ class ScenarioSpec:
             ),
         )
 
+    def _build_faults(self, section: dict | None, label: str) -> FaultInjector | None:
+        """One seeded fault injector from a ``faults`` section.
+
+        ``None`` when the section is absent or declares no events. The
+        victim-pick stream is derived from the section's own ``seed``
+        (default: scenario seed) and the fleet/tenant label, so two
+        tenants inheriting one top-level section draw independent
+        victims while staying reproducible.
+        """
+        if section is None or not section.get("events"):
+            return None
+        specs = [_fault_spec(event) for event in section["events"]]
+        return FaultInjector(
+            specs,
+            seed=spawn_seed(
+                int(section.get("seed", self.seed)), "scenario-faults", label
+            ),
+        )
+
+    @staticmethod
+    def _zones(section: dict | None) -> int:
+        return int(section.get("zones", 1)) if section else 1
+
     def _deployment(
-        self, generator, llm: str, profile: str, pods: int, max_batch_weight: int
+        self,
+        generator,
+        llm: str,
+        profile: str,
+        pods: int,
+        max_batch_weight: int,
+        n_zones: int = 1,
     ):
         from repro.cluster.deployment import Deployment
         from repro.hardware.profile import parse_profile
@@ -434,6 +570,7 @@ class ScenarioSpec:
             max_batch_weight=max_batch_weight,
             generator=generator,
             seed=self.seed,
+            n_zones=n_zones,
         )
 
     def build_fleet(self, generator=None) -> FleetSimulator:
@@ -445,7 +582,12 @@ class ScenarioSpec:
             )
         generator = generator or self.build_generator()
         deployment = self._deployment(
-            generator, self.llm, self.profile, self.pods, self.max_batch_weight
+            generator,
+            self.llm,
+            self.profile,
+            self.pods,
+            self.max_batch_weight,
+            n_zones=self._zones(self.faults),
         )
         router = self._wrap_admission(self._build_router(None), self.admission)
         return deployment.fleet(
@@ -453,6 +595,7 @@ class ScenarioSpec:
             router=router,
             stream_label=self.name,
             autoscaler=self._build_autoscaler(self.autoscaler),
+            faults=self._build_faults(self.faults, self.name),
         )
 
     def build_cluster(self, generator=None) -> "ClusterSimulator":
@@ -460,7 +603,7 @@ class ScenarioSpec:
 
         Tenant entries inherit every top-level field they do not
         override (llm, profile, pods, traffic, router, admission,
-        autoscaler, slo_ttft_ms, max_batch_weight).
+        autoscaler, slo_ttft_ms, max_batch_weight, faults).
         """
         from repro.simulation.cluster import ClusterInventory, ClusterSimulator
 
@@ -472,12 +615,14 @@ class ScenarioSpec:
         generator = generator or self.build_generator()
         groups = []
         for tenant in self.tenants:
+            fault_section = tenant.get("faults", self.faults)
             deployment = self._deployment(
                 generator,
                 tenant.get("llm", self.llm),
                 tenant.get("profile", self.profile),
                 int(tenant.get("pods", self.pods)),
                 int(tenant.get("max_batch_weight", self.max_batch_weight)),
+                n_zones=self._zones(fault_section),
             )
             router = self._wrap_admission(
                 self._build_router(tenant.get("router", self.router)),
@@ -495,6 +640,7 @@ class ScenarioSpec:
                         tenant.get("autoscaler", self.autoscaler)
                     ),
                     slo_p95_ttft_s=None if slo_ms is None else float(slo_ms) / 1e3,
+                    faults=self._build_faults(fault_section, tenant["name"]),
                 )
             )
         return ClusterSimulator(groups, ClusterInventory(capacity=dict(self.capacity)))

@@ -202,6 +202,79 @@ class TestCommands:
         assert rc == 2
         assert "error" in capsys.readouterr().err
 
+    def test_simulate_json_schema(self, capsys):
+        rc = main(
+            ["simulate", "--requests", "3000", "--duration", "10", "--json"]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "fleet"
+        assert data["fault_events"] == []
+        assert data["lost"] == 0
+        assert data["arrivals"] == data["admitted"] + data["shed"]
+        assert {"ttft", "itl", "e2e", "per_pod", "scale_events"} <= set(data)
+        assert all(p["zone"] == "zone-0" for p in data["per_pod"])
+
+    def test_simulate_fault_flag(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--requests", "3000",
+                "--duration", "20",
+                "--rate", "4",
+                "--fault", "crash@5:restart=5",
+                "--fault", "slowdown@8:duration=4,factor=3",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        kinds = [e["kind"] for e in data["fault_events"]]
+        assert "crash" in kinds
+        assert "slowdown-start" in kinds and "slowdown-end" in kinds
+        assert data["admitted"] == (
+            data["completed_total"] + data["in_flight_end"] + data["lost"]
+        )
+
+    def test_simulate_zone_outage_zones_flag(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--requests", "3000",
+                "--pods", "4",
+                "--zones", "2",
+                "--duration", "20",
+                "--fault", "zone-outage@6:zone=zone-1,restart=5",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert {p["zone"] for p in data["per_pod"]} == {"zone-0", "zone-1"}
+        assert any(e["kind"] == "zone-outage" for e in data["fault_events"])
+
+    def test_simulate_bad_fault_spec_exits_2(self, capsys):
+        rc = main(["simulate", "--requests", "3000", "--fault", "crash"])
+        assert rc == 2
+        assert "KIND@TIME" in capsys.readouterr().err
+
+    def test_simulate_fault_with_scenario_exits_2(self, tmp_path, capsys):
+        spec = tmp_path / "s.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "duration_s": 5.0,
+                    "workload": {"requests": 3000},
+                    "traffic": {"kind": "poisson", "rate_per_s": 1.0},
+                }
+            )
+        )
+        rc = main(
+            ["simulate", "--scenario", str(spec), "--fault", "crash@1"]
+        )
+        assert rc == 2
+        assert "faults" in capsys.readouterr().err
+
 
 CLUSTER_ARGS = [
     "cluster-sim",
@@ -227,15 +300,19 @@ class TestClusterSimCommand:
         assert rc == 0
         data = json.loads(capsys.readouterr().out)
         assert set(data) == {
-            "duration_s", "capacity", "total_cost", "peak_occupancy",
-            "tenants", "contended_scale_events",
+            "kind", "duration_s", "capacity", "total_cost", "peak_occupancy",
+            "tenants", "contended_scale_events", "fault_events",
         }
+        assert data["kind"] == "cluster"
         assert data["capacity"] == {"A100-80GB": 3}
+        assert data["fault_events"] == []
         assert [t["name"] for t in data["tenants"]] == ["chat", "code"]
         for tenant in data["tenants"]:
             assert tenant["arrivals"] >= 0
             assert tenant["pod_seconds"] >= 0
             assert tenant["cost"] >= 0
+            assert tenant["lost"] == 0
+            assert tenant["requeued"] == 0
         for event in data["contended_scale_events"]:
             assert event["constraint"] in ("denied", "clipped")
             assert event["tenant"] in ("chat", "code")
@@ -245,6 +322,35 @@ class TestClusterSimCommand:
         rc = main(CLUSTER_ARGS + ["--policy", "none", "--admission", "shed"])
         assert rc == 0
         assert "tenants on one clock" in capsys.readouterr().out
+
+    def test_fault_flag_hits_every_tenant(self, capsys):
+        rc = main(CLUSTER_ARGS + ["--fault", "crash@10:restart=5", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        # The same fault schedule is injected per tenant (independent
+        # victim draws), so each tenant records one crash.
+        assert sorted(e["tenant"] for e in data["fault_events"]) == [
+            "chat", "code",
+        ]
+        assert all(e["kind"] == "crash" for e in data["fault_events"])
+
+    def test_autoscale_json_has_recovery_block(self, capsys):
+        rc = main(
+            [
+                "autoscale",
+                "--requests", "3000",
+                "--duration", "40",
+                "--rate", "4",
+                "--policy", "threshold",
+                "--fault", "crash@10:restart=8",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "fleet"
+        assert "recovery" in data
+        assert data["recovery"]["slo_p95_ttft_s"] == pytest.approx(2.0)
 
     def test_bad_tenant_spec_exits_2(self, capsys):
         rc = main(

@@ -34,6 +34,8 @@ from repro.simulation import (
     ClusterInventory,
     ClusterSimulator,
     DiurnalTraffic,
+    FaultInjector,
+    FaultSpec,
     FleetSimulator,
     JoinShortestQueueRouter,
     LeastLoadedRouter,
@@ -101,7 +103,7 @@ def _policy(kind):
 
 
 def _fleet(generator, seed, kind, rate, router_kind="least-loaded",
-           policy_kind="none", cap=4, label="fleet"):
+           policy_kind="none", cap=4, label="fleet", faults=None, n_pods=1):
     def factory(serial):
         return ContinuousBatchingEngine(
             LLM, PROFILE, max_batch_weight=WEIGHT,
@@ -122,12 +124,13 @@ def _fleet(generator, seed, kind, rate, router_kind="least-loaded",
         generator, derive_rng(seed, "invariant-source", label), WEIGHT
     )
     return FleetSimulator(
-        [factory(0)],
+        [factory(i) for i in range(n_pods)],
         _traffic(kind, rate, seed),
         _router(router_kind),
         source,
         autoscaler=autoscaler,
         pod_factory=factory,
+        faults=faults,
     )
 
 
@@ -254,3 +257,65 @@ class TestClusterInvariants:
         assert clustered.itl.p95_s == standalone.itl.p95_s
         assert clustered.pod_seconds == standalone.pod_seconds
         assert clustered.scale_events == standalone.scale_events
+
+
+class TestFaultInvariants:
+    """Conservation laws must survive chaos: crashes requeue or lose
+    in-flight work, but never invent or leak requests."""
+
+    @SETTINGS
+    @given(seed=seeds, kind=traffic_kinds, rate=rates,
+           mode=st.sampled_from(["requeue", "lose"]),
+           t1=st.floats(min_value=1.0, max_value=40.0, allow_nan=False),
+           t2=st.floats(min_value=1.0, max_value=40.0, allow_nan=False),
+           restart=st.booleans())
+    def test_conservation_under_crashes(
+        self, generator, seed, kind, rate, mode, t1, t2, restart
+    ):
+        delay = 5.0 if restart else None
+        faults = FaultInjector(
+            [
+                FaultSpec(kind="crash", time_s=t1, mode=mode,
+                          restart_delay_s=delay),
+                FaultSpec(kind="crash", time_s=t2, mode=mode,
+                          restart_delay_s=delay),
+            ],
+            seed=seed,
+        )
+        fleet = _fleet(generator, seed, kind, rate, faults=faults,
+                       n_pods=3, label="chaos")
+        res = fleet.run(duration_s=DURATION_S, keep_samples=False)
+        res.verify_conservation()
+        assert res.arrivals == res.admitted + res.shed
+        assert (
+            res.completed_total + res.in_flight_end + res.lost == res.admitted
+        )
+        if mode == "requeue":
+            assert res.lost == 0
+        else:
+            assert res.requeued == 0
+        crashes = [e for e in res.fault_events if e.kind == "crash"]
+        assert len(crashes) == 2
+        assert res.lost == sum(e.lost for e in crashes)
+        assert res.requeued == sum(e.requeued for e in crashes)
+
+    @SETTINGS
+    @given(seed=seeds, kind=traffic_kinds, rate=rates,
+           policy_kind=st.sampled_from(["threshold", "target-utilization"]))
+    def test_autoscaled_fleet_survives_crash(
+        self, generator, seed, kind, rate, policy_kind
+    ):
+        faults = FaultInjector(
+            [FaultSpec(kind="crash", time_s=10.0, restart_delay_s=4.0)],
+            seed=seed,
+        )
+        fleet = _fleet(generator, seed, kind, rate, policy_kind=policy_kind,
+                       faults=faults, n_pods=2, label="chaos-scaled")
+        res = fleet.run(duration_s=DURATION_S, keep_samples=False)
+        res.verify_conservation()
+        assert res.lost == 0
+        # The crash bills to the instant, the restart re-provisions: the
+        # static bounds still hold against the autoscaler cap plus the
+        # restart replacement.
+        assert res.pod_seconds >= 0.0
+        assert res.pod_seconds <= (4 + 1) * res.time_s * (1.0 + 1e-9)

@@ -155,6 +155,124 @@ class TestValidation:
         with pytest.raises(ValueError, match="tenant needs a name"):
             ScenarioSpec.from_dict(spec)
 
+    def test_reports_all_errors_at_once(self):
+        spec = fleet_spec(
+            duration_s=-1.0,
+            traffic={"kind": "poisson"},
+            router="nope",
+        )
+        with pytest.raises(ValueError) as exc_info:
+            ScenarioSpec.from_dict(spec)
+        msg = str(exc_info.value)
+        assert "duration_s must be positive" in msg
+        assert "needs 'rate_per_s'" in msg
+        assert "unknown router" in msg
+        assert msg.count(";") >= 2
+
+
+FAULTS_SECTION = {
+    "seed": 3,
+    "zones": 2,
+    "events": [
+        {"kind": "crash", "time_s": 4.0, "restart_delay_s": 2.0},
+        {"kind": "slowdown", "time_s": 6.0, "duration_s": 3.0, "factor": 2.0},
+    ],
+}
+
+
+class TestFaultsSection:
+    def test_rejects_unknown_faults_key(self):
+        with pytest.raises(ValueError, match="scenario faults.*bogus"):
+            ScenarioSpec.from_dict(
+                fleet_spec(faults={"events": [], "bogus": 1})
+            )
+
+    def test_rejects_unknown_fault_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            ScenarioSpec.from_dict(
+                fleet_spec(faults={"events": [{"kind": "meteor", "time_s": 1}]})
+            )
+
+    def test_rejects_kind_mismatched_keys(self):
+        # 'factor' belongs to slowdown events, not crashes.
+        with pytest.raises(ValueError, match="event\\[0\\].*factor"):
+            ScenarioSpec.from_dict(
+                fleet_spec(
+                    faults={
+                        "events": [{"kind": "crash", "time_s": 1, "factor": 2}]
+                    }
+                )
+            )
+
+    def test_event_needs_time(self):
+        with pytest.raises(ValueError, match="time_s"):
+            ScenarioSpec.from_dict(
+                fleet_spec(faults={"events": [{"kind": "crash"}]})
+            )
+
+    def test_bad_event_flows_through_multi_error(self):
+        spec = fleet_spec(
+            duration_s=-2.0,
+            faults={"events": [{"kind": "crash", "time_s": 1, "mode": "warp"}]},
+        )
+        with pytest.raises(ValueError) as exc_info:
+            ScenarioSpec.from_dict(spec)
+        msg = str(exc_info.value)
+        assert "duration_s must be positive" in msg
+        assert "unknown fault mode" in msg
+
+    def test_build_fleet_arms_injector(self):
+        spec = ScenarioSpec.from_dict(fleet_spec(faults=FAULTS_SECTION))
+        fleet = spec.build_fleet()
+        injector = fleet.faults
+        assert injector is not None
+        kinds = [s.kind for s in injector.specs]
+        assert kinds == ["crash", "slowdown"]
+        # Zones thread through to the fleet's serial → zone mapping.
+        assert {fleet.pod_zone(i) for i in range(len(fleet.pods))} == {
+            "zone-0",
+            "zone-1",
+        }
+
+    def test_fleet_run_records_fault_events(self):
+        spec = ScenarioSpec.from_dict(fleet_spec(faults=FAULTS_SECTION))
+        res = spec.run()
+        assert [e.kind for e in res.fault_events[:1]] == ["crash"]
+        res.verify_conservation()  # raises on any leaked request
+
+    def test_scenario_seed_drives_injection(self):
+        base = ScenarioSpec.from_dict(fleet_spec(faults=FAULTS_SECTION))
+        again = ScenarioSpec.from_dict(fleet_spec(faults=FAULTS_SECTION))
+        a = [(e.time_s, e.kind, e.pod) for e in base.run().fault_events]
+        b = [(e.time_s, e.kind, e.pod) for e in again.run().fault_events]
+        assert a == b
+
+    def test_tenants_inherit_top_level_faults(self):
+        spec = ScenarioSpec.from_dict(cluster_spec(faults=FAULTS_SECTION))
+        sim = spec.build_cluster()
+        for group in sim.tenants:
+            assert group.fleet.faults is not None
+            zones = {
+                group.fleet.pod_zone(i) for i in range(len(group.fleet.pods))
+            }
+            assert zones <= {"zone-0", "zone-1"}
+
+    def test_tenant_override_beats_top_level(self):
+        spec_dict = cluster_spec(faults=FAULTS_SECTION)
+        spec_dict["tenants"][0]["faults"] = {"events": []}
+        sim = ScenarioSpec.from_dict(spec_dict).build_cluster()
+        by_name = {g.name: g for g in sim.tenants}
+        assert by_name["chat"].fleet.faults is None
+        assert by_name["batch"].fleet.faults is not None
+
+    def test_bad_tenant_faults_names_tenant(self):
+        spec_dict = cluster_spec()
+        spec_dict["tenants"][0]["faults"] = {
+            "events": [{"kind": "crash", "time_s": -1}]
+        }
+        with pytest.raises(ValueError, match="tenant 'chat' faults"):
+            ScenarioSpec.from_dict(spec_dict)
+
 
 class TestBuildTraffic:
     @pytest.mark.parametrize(
@@ -270,6 +388,12 @@ class TestLoad:
         path = tmp_path / "scenario.json"
         path.write_text("{not json")
         with pytest.raises(ValueError):
+            ScenarioSpec.load(str(path))
+
+    def test_load_error_names_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(fleet_spec(duration_s=-5.0)))
+        with pytest.raises(ValueError, match="broken.json.*duration_s"):
             ScenarioSpec.load(str(path))
 
 
