@@ -190,6 +190,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_shape_args(p_cluster)
     p_cluster.add_argument("--duration", type=float, default=120.0)
     p_cluster.add_argument("--warmup", type=float, default=0.0)
+    p_cluster.add_argument(
+        "--no-fast-cluster",
+        action="store_true",
+        help="run the O(tenants)-scan oracle cluster loop instead of the "
+        "heap-frontier fast path (bit-identical; for verification)",
+    )
     _add_workload_args(p_cluster)
     _add_fault_args(p_cluster)
     _add_json_arg(p_cluster)
@@ -249,6 +255,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for the candidate sweep; the "
         "recommendation is byte-identical to --jobs 1",
+    )
+    p_elastic.add_argument(
+        "--no-arrival-cache",
+        action="store_true",
+        help="regenerate the seeded arrival stream per candidate instead "
+        "of recording it once and replaying it (bit-identical; for "
+        "verification)",
+    )
+    p_elastic.add_argument(
+        "--prune",
+        action="store_true",
+        help="skip candidates whose compute-bill floor already exceeds an "
+        "SLO-meeting incumbent's total cost (each skip is logged and "
+        "reported)",
     )
     _add_json_arg(p_elastic)
 
@@ -932,7 +952,11 @@ def _cmd_cluster_sim(args) -> int:
                     raise ValueError(f"capacity spec must be GPU=N, got {item!r}")
                 capacity[gpu] = int(count)
             groups = [_parse_tenant_group(s, args, generator) for s in args.tenants]
-            sim = ClusterSimulator(groups, ClusterInventory(capacity=capacity))
+            sim = ClusterSimulator(
+                groups,
+                ClusterInventory(capacity=capacity),
+                fast=not args.no_fast_cluster,
+            )
             names = [None]
             results = [sim.run(duration_s=args.duration, warmup_s=args.warmup)]
     except (KeyError, ValueError, OSError) as exc:
@@ -1097,6 +1121,7 @@ def _cmd_recommend_elastic(args) -> int:
             metrics_window_s=args.metrics_window,
             router_factory=lambda: ROUTERS[args.router](),
             stream_label=args.traffic,
+            cache_arrivals=not args.no_arrival_cache,
         )
         if args.jobs < 1:
             raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
@@ -1105,6 +1130,7 @@ def _cmd_recommend_elastic(args) -> int:
             search_max=args.search_max,
             headroom=args.headroom,
             jobs=args.jobs,
+            prune=args.prune,
         )
     except (KeyError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1138,6 +1164,12 @@ def _cmd_recommend_elastic(args) -> int:
             ),
         )
     )
+    for skipped in rec.pruned:
+        print(
+            f"Pruned {skipped.label}: compute-bill floor "
+            f"${skipped.cost_floor:.3f} exceeds {skipped.incumbent_label} "
+            f"total ${skipped.incumbent_cost:.3f}"
+        )
     print(
         f"Recommendation: {rec.chosen.label} "
         f"(${rec.chosen.total_cost:.3f} for the window, p95 TTFT "

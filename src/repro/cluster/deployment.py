@@ -202,6 +202,23 @@ class Deployment:
         """Fresh engines, one per replica, with stable per-pod seeds."""
         return [self.pod_factory(pod_index) for pod_index in range(self.n_pods)]
 
+    def workload_source(self, stream_label: object = "deployment") -> RequestSource:
+        """The seeded workload stream a fleet under ``stream_label`` draws from.
+
+        Exactly the :class:`RequestSource` :meth:`_make_fleet` builds —
+        same generator, same derived RNG, same weight cap — exposed so
+        sweep layers (the elastic recommender's shared arrival cache)
+        can materialize the stream once and replay it bit-identically.
+        Note the derivation ignores ``n_pods``: scaled copies of this
+        deployment share the stream, which is what makes a candidate
+        sweep a controlled experiment.
+        """
+        return RequestSource(
+            self.generator,
+            derive_rng(self.seed, "deployment-workload", stream_label),
+            self.max_batch_weight,
+        )
+
     def _make_fleet(
         self,
         traffic: TrafficModel,
@@ -211,11 +228,7 @@ class Deployment:
         faults: FaultInjector | None = None,
     ) -> FleetSimulator:
         """A fresh fleet over fresh pods and a seeded workload stream."""
-        source = RequestSource(
-            self.generator,
-            derive_rng(self.seed, "deployment-workload", stream_label),
-            self.max_batch_weight,
-        )
+        source = self.workload_source(stream_label)
         return FleetSimulator(
             self._pods(),
             traffic,

@@ -36,6 +36,7 @@ fixed count.
 
 from __future__ import annotations
 
+import logging
 import math
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -52,6 +53,7 @@ from repro.simulation.autoscale import (
     ThresholdPolicy,
 )
 from repro.simulation.fleet import FleetResult, Router
+from repro.simulation.replay import RecordedTraffic
 
 if TYPE_CHECKING:
     from repro.cluster.deployment import Deployment
@@ -65,11 +67,14 @@ __all__ = [
     "CostObjective",
     "ElasticCandidate",
     "TradePoint",
+    "PrunedCandidate",
     "ElasticRecommendation",
     "ElasticOptions",
     "ElasticRecommender",
     "default_candidates",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Maps one simulated run to an SLO-penalty charge in dollars.
 SLOPenaltyFn = Callable[[FleetResult], float]
@@ -260,6 +265,38 @@ class TradePoint:
         }
 
 
+@dataclass(frozen=True)
+class PrunedCandidate:
+    """A sweep candidate skipped by the cost-lower-bound prune — never silently.
+
+    Records the arithmetic that justified the skip: the candidate's
+    unavoidable compute-bill floor (its ``min_pods`` provisioned for the
+    whole scored window) already exceeded the total cost of an
+    SLO-meeting incumbent, so simulating it could not have changed the
+    recommendation.
+    """
+
+    label: str
+    policy: str
+    min_pods: int
+    max_pods: int
+    cost_floor: float
+    incumbent_cost: float
+    incumbent_label: str
+
+    def as_dict(self) -> dict:
+        """JSON-ready view of the prune decision."""
+        return {
+            "label": self.label,
+            "policy": self.policy,
+            "min_pods": self.min_pods,
+            "max_pods": self.max_pods,
+            "cost_floor": self.cost_floor,
+            "incumbent_cost": self.incumbent_cost,
+            "incumbent_label": self.incumbent_label,
+        }
+
+
 @dataclass
 class ElasticRecommendation:
     """The sweep's answer: a config, its curve, and savings vs static.
@@ -276,6 +313,7 @@ class ElasticRecommendation:
     static: TradePoint
     curve: list[TradePoint] = field(default_factory=list)
     static_recommendation: object | None = field(default=None, repr=False)
+    pruned: list[PrunedCandidate] = field(default_factory=list)
 
     @property
     def savings(self) -> float:
@@ -302,6 +340,7 @@ class ElasticRecommendation:
             "chosen": self.chosen.as_dict(),
             "static": self.static.as_dict(),
             "curve": [p.as_dict() for p in self.curve],
+            "pruned": [p.as_dict() for p in self.pruned],
             "savings": self.savings,
             "savings_fraction": self.savings_fraction,
             "meets_slo": self.meets_slo,
@@ -387,6 +426,12 @@ class ElasticRecommender:
     model on every call — each candidate replays the same arrival
     process, and the deployment's workload stream label is held fixed,
     so two candidates differ only in how the fleet resizes itself.
+
+    With ``cache_arrivals`` (the default) that shared arrival process is
+    generated exactly once per sweep — the factory is called once, its
+    stream materialized as a :class:`RecordedTraffic`, and every
+    candidate replays the shared arrays bit-identically — instead of
+    regenerating identical timestamps and token draws per candidate.
     """
 
     def __init__(
@@ -402,6 +447,7 @@ class ElasticRecommender:
         metrics_window_s: float = 30.0,
         router_factory: Callable[[], Router] | None = None,
         stream_label: object = "elastic",
+        cache_arrivals: bool = True,
     ) -> None:
         if duration_s <= 0:
             raise ValueError(f"duration_s must be positive, got {duration_s}")
@@ -430,6 +476,31 @@ class ElasticRecommender:
         self.metrics_window_s = float(metrics_window_s)
         self.router_factory = router_factory
         self.stream_label = stream_label
+        self.cache_arrivals = bool(cache_arrivals)
+        self._recorded: RecordedTraffic | None = None
+
+    # ---- the shared arrival stream ----------------------------------------
+
+    def _traffic(self) -> "TrafficModel":
+        """The traffic model one candidate evaluation runs under.
+
+        With ``cache_arrivals`` (the default) the factory's seeded
+        open-loop stream is materialized exactly once — timestamps and
+        workload-stream token draws — and every candidate replays the
+        shared arrays through a fresh :class:`RecordedTraffic` cursor,
+        which is provably bit-identical to a factory-fresh model (see
+        :meth:`RecordedTraffic.record`). ``cache_arrivals=False`` falls
+        back to regenerating per candidate.
+        """
+        if not self.cache_arrivals:
+            return self.traffic_factory()
+        if self._recorded is None:
+            self._recorded = RecordedTraffic.record(
+                self.traffic_factory(),
+                self.deployment.workload_source(self.stream_label),
+                self.warmup_s + self.duration_s,
+            )
+        return self._recorded.replay()
 
     # ---- one candidate ----------------------------------------------------
 
@@ -450,7 +521,7 @@ class ElasticRecommender:
         deployment = self.deployment.scale(candidate.min_pods)
         router = self.router_factory() if self.router_factory else None
         result = deployment.simulate(
-            self.traffic_factory(),
+            self._traffic(),
             duration_s=self.duration_s,
             router=router,
             warmup_s=self.warmup_s,
@@ -492,46 +563,87 @@ class ElasticRecommender:
         influence any result — :func:`~repro.utils.parallel.fork_map`
         with ``jobs > 1`` fans the same calls across worker processes
         and returns the byte-identical list the serial loop produces.
+
+        Identical candidates (same policy closure and pod bounds — e.g.
+        a static rung appearing both in the ladder and in a caller's
+        list) are simulated once; duplicate positions share the single
+        :class:`TradePoint` object. With the arrival cache on, the
+        stream is materialized *before* the fork so workers inherit the
+        recorded arrays instead of regenerating them per process.
         """
-        return fork_map(self.evaluate, candidates, jobs)
+        candidates = list(candidates)
+        if self.cache_arrivals and self._recorded is None and candidates:
+            self._traffic()
+
+        def key(candidate: ElasticCandidate):
+            # Candidate equality ignores ``make_policy`` (closures do not
+            # compare), so two same-shaped candidates with *different*
+            # policy factories must not merge: include the closure's
+            # identity in the key.
+            return (
+                candidate.policy,
+                candidate.min_pods,
+                candidate.max_pods,
+                None if candidate.make_policy is None else id(candidate.make_policy),
+            )
+
+        slots: dict[object, int] = {}
+        unique: list[ElasticCandidate] = []
+        for candidate in candidates:
+            if key(candidate) not in slots:
+                slots[key(candidate)] = len(unique)
+                unique.append(candidate)
+        points = fork_map(self.evaluate, unique, jobs)
+        return [points[slots[key(candidate)]] for candidate in candidates]
 
     def peak_static_pods(
         self, search_max: int = 8, jobs: int = 1
     ) -> tuple[int, list[TradePoint]]:
         """Autoscaler-in-the-loop sizing of the *static* baseline.
 
-        Simulates static fleets of 1..``search_max`` pods under the same
-        traffic until the smallest SLO-meeting count is found — the
-        "peak-sized" fleet the paper's fixed answer corresponds to. The
-        whole ladder is returned as trade-curve points. When even
-        ``search_max`` pods breach, the largest is returned (honest
-        infeasibility: its penalty dominates its score).
+        Finds the smallest static pod count in 1..``search_max`` that
+        meets the SLO under the sweep's traffic — the "peak-sized" fleet
+        the paper's fixed answer corresponds to — by **bisection**:
+        adding pods to a static fleet under fixed open-loop traffic
+        never worsens its tail, so SLO attainment is monotone in the pod
+        count and O(log search_max) simulated rungs pin the boundary
+        (the old linear ladder climb simulated every rung up to the
+        answer). The rungs actually simulated are returned, sorted by
+        pod count, as trade-curve points; the answer's rung is always
+        among them. When even ``search_max`` pods breach, it is returned
+        anyway (honest infeasibility: its penalty dominates its score).
 
-        With ``jobs > 1`` every rung is simulated concurrently and the
-        ladder is truncated at the first SLO-meeting rung afterwards —
-        the returned value is identical to the serial early-stopping
-        climb (each rung's simulation is independent), it just trades
-        some wasted work above the answer for wall-clock time.
+        ``jobs`` is accepted for interface compatibility but unused —
+        bisection is inherently sequential, and it already simulates
+        fewer rungs than a parallel full ladder would.
         """
         if search_max < 1:
             raise ValueError(f"search_max must be >= 1, got {search_max}")
-        rungs = [
-            ElasticCandidate("static", n_pods, n_pods)
-            for n_pods in range(1, search_max + 1)
-        ]
-        ladder: list[TradePoint] = []
-        if jobs > 1:
-            for point in self.evaluate_many(rungs, jobs):
-                ladder.append(point)
-                if point.meets_slo:
-                    break
+        del jobs
+        points: dict[int, TradePoint] = {}
+
+        def meets(n_pods: int) -> bool:
+            if n_pods not in points:
+                points[n_pods] = self.evaluate(
+                    ElasticCandidate("static", n_pods, n_pods)
+                )
+            return points[n_pods].meets_slo
+
+        if meets(1) or search_max == 1:
+            best = 1
+        elif not meets(search_max):
+            best = search_max
         else:
-            for rung in rungs:
-                point = self.evaluate(rung)
-                ladder.append(point)
-                if point.meets_slo:
-                    break
-        return len(ladder), ladder
+            # Invariant: lo breaches, hi meets; the boundary is in (lo, hi].
+            lo, hi = 1, search_max
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if meets(mid):
+                    hi = mid
+                else:
+                    lo = mid
+            best = hi
+        return best, [points[n_pods] for n_pods in sorted(points)]
 
     def recommend(
         self,
@@ -540,6 +652,7 @@ class ElasticRecommender:
         search_max: int = 8,
         headroom: int = 2,
         jobs: int = 1,
+        prune: bool = False,
     ) -> ElasticRecommendation:
         """Run the sweep and pick the cheapest SLO-meeting configuration.
 
@@ -553,15 +666,26 @@ class ElasticRecommender:
         points compete on equal terms, so the recommendation degrades
         gracefully to "stay static" when elasticity does not pay.
 
-        ``jobs > 1`` distributes the ladder and the candidate sweep
-        across worker processes; every candidate keeps its own
-        deterministic seed, so the recommendation is byte-identical to
-        the ``jobs=1`` serial sweep.
+        ``jobs > 1`` distributes the candidate sweep across worker
+        processes; every candidate keeps its own deterministic seed, so
+        the recommendation is byte-identical to the ``jobs=1`` serial
+        sweep.
+
+        ``prune=True`` skips candidates whose compute-bill *floor* —
+        ``min_pods`` provisioned for the scored window, the cheapest run
+        the candidate could possibly produce — already strictly exceeds
+        the total cost of an SLO-meeting rung of the ladder. Such a
+        candidate can never win the selection (assuming the objective's
+        penalty is non-negative, as the built-in penalties guarantee),
+        so its simulation is skipped; every skip is logged and recorded
+        in the recommendation's ``pruned`` list, never silent.
         """
         ladder: list[TradePoint] = []
         if static_pods is None:
             static_pods, ladder = self.peak_static_pods(search_max, jobs=jobs)
-            static_point = ladder[-1]
+            static_point = next(
+                p for p in ladder if p.min_pods == static_pods
+            )
         else:
             if static_pods < 1:
                 raise ValueError(f"static_pods must be >= 1, got {static_pods}")
@@ -575,6 +699,10 @@ class ElasticRecommender:
                 max_pods=static_pods + headroom,
                 requests_per_pod_per_s=self._per_pod_rate(static_point, static_pods),
             )
+        candidates = list(candidates)
+        pruned: list[PrunedCandidate] = []
+        if prune:
+            candidates, pruned = self._prune(candidates, ladder)
         curve = ladder + self.evaluate_many(candidates, jobs)
         chosen = min(
             curve,
@@ -586,7 +714,62 @@ class ElasticRecommender:
             chosen=chosen,
             static=static_point,
             curve=curve,
+            pruned=pruned,
         )
+
+    def _prune(
+        self, candidates: list[ElasticCandidate], ladder: list[TradePoint]
+    ) -> tuple[list[ElasticCandidate], list[PrunedCandidate]]:
+        """Split candidates into (worth simulating, provably dominated).
+
+        The bound: a candidate keeps at least ``min_pods`` provisioned
+        for the whole billed window (the autoscaler cannot go below its
+        floor), so its total cost is at least that compute bill. If that
+        floor alone is strictly above an SLO-meeting incumbent's *total*
+        cost, the candidate loses every leg of the selection key —
+        ``meets_slo`` at best ties, ``total_cost`` is strictly worse —
+        and simulating it cannot change the answer. Without an
+        SLO-meeting incumbent nothing is pruned: an infeasible baseline
+        proves nothing about the candidates.
+        """
+        incumbent = min(
+            (p for p in ladder if p.meets_slo),
+            key=lambda p: p.total_cost,
+            default=None,
+        )
+        if incumbent is None:
+            return candidates, []
+        # Floors use ``duration_s`` only: whatever the billing window
+        # includes beyond it (warmup, drain tails), the bill can only
+        # grow, so the duration-only floor stays a valid lower bound.
+        hours = self.duration_s / 3600.0
+        pod_cost = self.objective.pricing.pod_cost(self.deployment.profile)
+        kept: list[ElasticCandidate] = []
+        pruned: list[PrunedCandidate] = []
+        for candidate in candidates:
+            floor = candidate.min_pods * hours * pod_cost
+            if floor > incumbent.total_cost:
+                decision = PrunedCandidate(
+                    label=candidate.label,
+                    policy=candidate.policy,
+                    min_pods=candidate.min_pods,
+                    max_pods=candidate.max_pods,
+                    cost_floor=floor,
+                    incumbent_cost=incumbent.total_cost,
+                    incumbent_label=incumbent.label,
+                )
+                pruned.append(decision)
+                logger.info(
+                    "pruned candidate %s: compute-bill floor $%.4f exceeds "
+                    "incumbent %s total cost $%.4f",
+                    decision.label,
+                    decision.cost_floor,
+                    decision.incumbent_label,
+                    decision.incumbent_cost,
+                )
+            else:
+                kept.append(candidate)
+        return kept, pruned
 
     def _per_pod_rate(self, static_point: TradePoint, static_pods: int) -> float:
         """Sustainable per-pod arrival rate, from the baseline run.

@@ -34,6 +34,7 @@ from repro.simulation.traffic import (
     round_robin_assignment,
 )
 from repro.simulation.frontier import (
+    ClusterFrontier,
     EventFrontier,
     committed_load,
     least_loaded_pod,
@@ -50,7 +51,7 @@ from repro.simulation.fleet import (
     FleetResult,
     FleetSimulator,
 )
-from repro.simulation.replay import ArrivalLog, ReplayTraffic
+from repro.simulation.replay import ArrivalLog, RecordedTraffic, ReplayTraffic
 from repro.simulation.autoscale import (
     AUTOSCALE_POLICIES,
     AdmissionController,
@@ -79,10 +80,12 @@ __all__ = [
     "FaultSpec",
     "SimResult",
     "to_json",
+    "ClusterFrontier",
     "EventFrontier",
     "committed_load",
     "least_loaded_pod",
     "ArrivalLog",
+    "RecordedTraffic",
     "ReplayTraffic",
     "ScenarioSpec",
     "load_scenario",

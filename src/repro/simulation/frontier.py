@@ -33,8 +33,14 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with the engine
     from repro.inference.engine import ContinuousBatchingEngine
+    from repro.simulation.fleet import FleetSimulator
 
-__all__ = ["EventFrontier", "committed_load", "least_loaded_pod"]
+__all__ = [
+    "ClusterFrontier",
+    "EventFrontier",
+    "committed_load",
+    "least_loaded_pod",
+]
 
 
 def committed_load(pod: "ContinuousBatchingEngine") -> int:
@@ -126,3 +132,106 @@ class EventFrontier:
                 return pod
             heapq.heappop(heap)
         return None
+
+
+#: Control-entry kinds of the cluster frontier. A fault beats an
+#: autoscale decision at the same (time, tenant) — the oracle scan
+#: checks ``next_fault`` before ``next_decision`` with a strict ``<``,
+#: so the decision observes the already-degraded fleet.
+_KIND_FAULT = 0
+_KIND_DECISION = 1
+
+
+class ClusterFrontier:
+    """Lazy-invalidation heaps over tenant fleets for the cluster loop.
+
+    :class:`EventFrontier` lifted one level: where the fleet indexes its
+    busy *pods*, this indexes whole *tenants* for the
+    :class:`~repro.simulation.cluster.ClusterSimulator`, replacing its
+    three O(tenants) scans per event (frontier pod, next fault, next
+    decision) with O(log tenants) heap pops.
+
+    Two heaps share the same lazy-invalidation discipline:
+
+    * the **pod heap** holds ``(frontier_time, tenant_index)`` entries —
+      one per recorded observation of a tenant's earliest busy pod. An
+      entry is stale when the tenant's current frontier time no longer
+      equals the recorded one (the tenant stepped away, went idle, or an
+      injection pulled its frontier *earlier* — unlike a single pod's
+      clock, a tenant frontier is not monotone, which is why
+      :meth:`push` must run after every mutation of that tenant so the
+      heap always holds a fresh entry at or below the true minimum);
+    * the **control heap** holds ``(time, tenant_index, kind)`` entries
+      for pending fault and autoscale-decision times, stale as soon as
+      the fleet's ``next_fault``/``next_decision`` moved past them.
+
+    Tie-breaks replicate the oracle scans bit-for-bit: equal times
+    resolve to the lowest tenant index (the scan's first minimum), and
+    within one tenant a fault (kind 0) sorts before a decision (kind 1)
+    at the same instant. Validation goes through the fleet's own
+    ``frontier_pod()``, so the pod returned for a valid entry is always
+    the tenant's *current* frontier pod, whichever pod that is.
+    """
+
+    __slots__ = ("_fleets", "_pod_heap", "_ctl_heap")
+
+    def __init__(self, fleets: Sequence["FleetSimulator"]) -> None:
+        self._fleets = list(fleets)
+        self._pod_heap: list[tuple[float, int]] = []
+        self._ctl_heap: list[tuple[float, int, int]] = []
+        for index in range(len(self._fleets)):
+            self.push(index)
+
+    def push(self, index: int) -> None:
+        """Re-record tenant ``index``'s frontier-pod and control times.
+
+        Called after anything that mutates the tenant (inject, step,
+        fault tick, autoscale tick). Old entries are left behind for
+        :meth:`peek_pod`/:meth:`peek_control` to discard lazily;
+        duplicates of a still-valid entry are harmless.
+        """
+        fleet = self._fleets[index]
+        pod = fleet.frontier_pod()
+        if pod is not None:
+            heapq.heappush(self._pod_heap, (pod.time, index))
+        t_fault = fleet.next_fault
+        if t_fault != float("inf"):
+            heapq.heappush(self._ctl_heap, (t_fault, index, _KIND_FAULT))
+        t_decision = fleet.next_decision
+        if t_decision != float("inf"):
+            heapq.heappush(self._ctl_heap, (t_decision, index, _KIND_DECISION))
+
+    def peek_pod(self) -> tuple[int, "ContinuousBatchingEngine | None"]:
+        """``(tenant_index, pod)`` of the globally earliest busy pod.
+
+        ``(-1, None)`` when every tenant is idle. The valid entry is left
+        in place so repeated peeks are O(1).
+        """
+        heap = self._pod_heap
+        fleets = self._fleets
+        while heap:
+            recorded, index = heap[0]
+            pod = fleets[index].frontier_pod()
+            if pod is not None and pod.time == recorded:
+                return index, pod
+            heapq.heappop(heap)
+        return -1, None
+
+    def peek_control(self) -> tuple[float, int, bool]:
+        """``(time, tenant_index, is_fault)`` of the next control event.
+
+        ``(inf, -1, False)`` when nothing is pending. Consecutive
+        same-time faults stay valid across ticks (the injector may hold
+        several events at one instant), exactly as the oracle re-scan
+        would find them.
+        """
+        heap = self._ctl_heap
+        fleets = self._fleets
+        while heap:
+            recorded, index, kind = heap[0]
+            fleet = fleets[index]
+            actual = fleet.next_fault if kind == _KIND_FAULT else fleet.next_decision
+            if actual == recorded:
+                return recorded, index, kind == _KIND_FAULT
+            heapq.heappop(heap)
+        return float("inf"), -1, False

@@ -48,7 +48,7 @@ if TYPE_CHECKING:  # import cycle: the engine itself imports this package
     from repro.inference.request import InferenceRequest
     from repro.traces.schema import TraceDataset
 
-__all__ = ["ArrivalLog", "ReplayTraffic"]
+__all__ = ["ArrivalLog", "RecordedTraffic", "ReplayTraffic"]
 
 #: Columns a CSV/JSONL arrival log may carry, in canonical order.
 _REQUIRED_COLUMNS = ("timestamp", "input_tokens", "output_tokens")
@@ -439,3 +439,111 @@ class ReplayTraffic(TrafficModel):
         self._i += 1
         self._next_id += 1
         return t, request
+
+
+class RecordedTraffic(TrafficModel):
+    """A pre-materialized open-loop arrival stream, replayable for free.
+
+    Candidate sweeps (:class:`~repro.recommendation.elastic.ElasticRecommender`)
+    run the *identical* seeded arrival process against every candidate —
+    which today means regenerating it from scratch per candidate: every
+    inter-arrival draw, every workload-stream token draw, repeated N
+    times for N candidates. :meth:`record` runs the generation exactly
+    once — draining a factory-fresh traffic model through the same
+    ``peek``/``pop`` protocol the fleet loop uses, against the same
+    seeded :class:`~repro.simulation.traffic.RequestSource` the
+    deployment would hand that fleet — and captures the resulting
+    ``(time, request)`` sequence. :meth:`replay` then mints cursors that
+    walk the shared arrays, one per candidate, at zero generation cost;
+    forked sweep workers inherit the arrays through fork.
+
+    Bit-identity argument: an open-loop model's arrivals are consumed in
+    time order by ``pop``, its ``initial_arrivals`` population is empty
+    and ``on_complete`` never fires — so the workload stream's RNG is
+    consumed *only* by the pops, in the same order, whether they happen
+    during recording or inside a simulation. The fleet never materializes
+    scheduled arrivals at or beyond its horizon (``warmup + duration``),
+    so recording up to the same horizon reproduces exactly the arrivals
+    a fresh model would have delivered — and after exhaustion
+    :meth:`peek` returns ``None``, just as a fresh model past the
+    horizon behaves. Replayed requests are shared objects; the engine
+    treats requests as immutable, so sharing is safe.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        times_s: "list[float]",
+        requests: "list[InferenceRequest]",
+        sticky: bool = False,
+    ) -> None:
+        self.name = str(name)
+        self.sticky = bool(sticky)
+        self._times = times_s
+        self._requests = requests
+        self._i = 0
+
+    @classmethod
+    def record(
+        cls, traffic: TrafficModel, source: RequestSource, horizon_s: float
+    ) -> "RecordedTraffic":
+        """Drain ``traffic`` up to ``horizon_s`` into a replayable stream.
+
+        ``traffic`` must be purely open-loop (no t=0 population, no
+        completion-driven follow-ups) — those hooks depend on simulation
+        state that recording cannot observe, so a model that overrides
+        them cannot be captured as a fixed sequence.
+        """
+        if horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, got {horizon_s}")
+        kind = type(traffic)
+        if (
+            kind.initial_arrivals is not TrafficModel.initial_arrivals
+            or kind.on_complete is not TrafficModel.on_complete
+        ):
+            raise ValueError(
+                f"cannot record {traffic.name!r} traffic: only purely "
+                "open-loop (scheduled-arrival) models replay as a fixed "
+                "sequence"
+            )
+        times: list[float] = []
+        requests: list["InferenceRequest"] = []
+        while True:
+            t = traffic.peek()
+            if t is None or t >= horizon_s:
+                break
+            t, request = traffic.pop(source)
+            times.append(float(t))
+            requests.append(request)
+        return cls(traffic.name, times, requests, sticky=traffic.sticky)
+
+    def replay(self) -> "RecordedTraffic":
+        """A fresh cursor over the shared recorded arrays."""
+        return RecordedTraffic(self.name, self._times, self._requests, self.sticky)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def remaining(self) -> int:
+        """Arrivals not yet injected into the simulation."""
+        return len(self._times) - self._i
+
+    def peek(self) -> float | None:
+        """Time of the next recorded arrival (None once exhausted)."""
+        if self._i >= len(self._times):
+            return None
+        return self._times[self._i]
+
+    def pop(self, source: RequestSource) -> tuple[float, "InferenceRequest"]:
+        """The next recorded ``(time, request)``; ``source`` is unused.
+
+        The weight cap was already applied when the stream was recorded
+        (by the model that generated it), so the replayed request is
+        byte-identical to what a fresh model would have built.
+        """
+        i = self._i
+        if i >= len(self._times):
+            raise RuntimeError("recorded traffic exhausted")
+        self._i = i + 1
+        return self._times[i], self._requests[i]

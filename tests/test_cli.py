@@ -430,7 +430,7 @@ class TestRecommendElasticCommand:
         data = json.loads(capsys.readouterr().out)
         assert set(data) == {
             "profile", "slo_p95_ttft_s", "chosen", "static", "curve",
-            "savings", "savings_fraction", "meets_slo",
+            "pruned", "savings", "savings_fraction", "meets_slo",
         }
         assert data["profile"] == "1xA100-80GB"
         assert data["static"]["policy"] == "static"

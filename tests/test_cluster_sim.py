@@ -454,3 +454,121 @@ class TestFastOracleParity:
         assert fast.tokens_generated == oracle.tokens_generated
         assert fast.ttft == oracle.ttft
         assert fast.itl == oracle.itl
+
+
+class TestClusterFrontierParity:
+    """The heap-driven cluster loop (``fast=True``, the default) must be
+    bit-identical to the retained O(tenants)-scan oracle loop — same
+    per-tenant results, same inventory event stream — across seeds,
+    with autoscaling, inventory contention, and a chaos schedule."""
+
+    def _run(self, generator, fast_cluster, seed_base, with_faults):
+        from repro.simulation.faults import FaultInjector, FaultSpec
+
+        def tenant(name, rate, seed, max_pods, faults=None):
+            factory = _factory(seed)
+            source = RequestSource(
+                generator, derive_rng(seed, "cluster-test", name), WEIGHT
+            )
+            fleet = FleetSimulator(
+                [factory(0)],
+                PoissonTraffic(rate, rng=derive_rng(seed, "cluster-traffic", name)),
+                LeastLoadedRouter(),
+                source,
+                autoscaler=_scaler(max_pods=max_pods),
+                pod_factory=factory,
+                faults=faults,
+            )
+            return TenantGroup(name, fleet, PROFILE.name)
+
+        faults_a = faults_b = None
+        if with_faults:
+            # Includes two same-instant faults on one tenant and a
+            # cross-tenant same-time collision with tenant a's crash —
+            # the tie-break cases the heap keys must replicate.
+            faults_a = FaultInjector(
+                [
+                    FaultSpec(kind="crash", time_s=20.0),
+                    FaultSpec(
+                        kind="slowdown", time_s=35.0, duration_s=15.0, factor=2.5
+                    ),
+                ],
+                seed=3,
+            )
+            faults_b = FaultInjector(
+                [
+                    FaultSpec(kind="crash", time_s=20.0),
+                    FaultSpec(kind="crash", time_s=20.0),
+                ],
+                seed=4,
+            )
+        tenants = [
+            tenant("quiet", 1.0, seed_base + 1, 3, faults_a),
+            tenant("noisy", 8.0, seed_base + 2, 6, faults_b),
+            tenant("third", 4.0, seed_base + 5, 4),
+        ]
+        inventory = ClusterInventory(capacity={PROFILE.gpu.name: 4})
+        sim = ClusterSimulator(tenants, inventory, fast=fast_cluster)
+        assert sim.fast is fast_cluster
+        return sim.run(duration_s=60.0)
+
+    @pytest.mark.parametrize("seed_base", [0, 40])
+    @pytest.mark.parametrize("with_faults", [False, True])
+    def test_bit_identical(self, generator, seed_base, with_faults):
+        fast = self._run(generator, True, seed_base, with_faults)
+        oracle = self._run(generator, False, seed_base, with_faults)
+        assert fast.tenants == oracle.tenants
+        assert fast.end_provisioned == oracle.end_provisioned
+        assert fast.sim_events == oracle.sim_events
+        for name in fast.tenants:
+            mine, ref = fast.results[name], oracle.results[name]
+            assert mine.arrivals == ref.arrivals
+            assert mine.requests_completed == ref.requests_completed
+            assert mine.tokens_generated == ref.tokens_generated
+            assert mine.pod_seconds == ref.pod_seconds
+            assert mine.ttft == ref.ttft
+            assert mine.itl == ref.itl
+            assert mine.e2e == ref.e2e
+            assert mine.scale_events == ref.scale_events
+            assert mine.lost == ref.lost
+            assert mine.fault_events == ref.fault_events
+        assert [
+            (e.time_s, e.gpu, e.delta, e.tenant, e.reason) for e in fast.events
+        ] == [
+            (e.time_s, e.gpu, e.delta, e.tenant, e.reason) for e in oracle.events
+        ]
+
+    def test_occupancy_series_cached_per_gpu(self, generator):
+        result = self._run(generator, True, 0, False)
+        first = result.occupancy_series(PROFILE.gpu.name)
+        again = result.occupancy_series(PROFILE.gpu.name)
+        # Same objects back: the replay ran once and was cached.
+        assert first[0] is again[0] and first[1] is again[1]
+        other = result.occupancy_series("H100-80GB")
+        assert other[0] is not first[0]
+
+
+class TestInitialAllocationRollback:
+    def test_failure_rolls_back_granted_tenants(self, generator):
+        """A tenant that does not fit must not leave earlier tenants'
+        initial allocations committed in the ledger."""
+        groups = [
+            TenantGroup(
+                "fits", _fleet(generator, "fits", 1.0, 0, n_pods=2), PROFILE.name
+            ),
+            TenantGroup(
+                "big", _fleet(generator, "big", 1.0, 1, n_pods=3), PROFILE.name
+            ),
+        ]
+        inventory = ClusterInventory(capacity={PROFILE.gpu.name: 4})
+        used_before = dict(inventory.used)
+        sim = ClusterSimulator(groups, inventory)
+        with pytest.raises(ValueError, match="initial allocation.*'big'"):
+            sim.run(duration_s=10.0)
+        assert dict(inventory.used) == used_before
+        assert inventory.events == []
+        # The inventory is intact: a cluster that does fit runs fine.
+        ok = ClusterSimulator(
+            [groups[0]], ClusterInventory(capacity={PROFILE.gpu.name: 4})
+        ).run(duration_s=10.0)
+        ok.verify_conservation()

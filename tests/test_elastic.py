@@ -202,14 +202,38 @@ class TestElasticRecommender:
         assert a.p95_ttft_s == b.p95_ttft_s
         assert a.pod_hours == b.pod_hours
 
-    def test_static_ladder_stops_at_first_slo_meeting_count(self, generator):
+    def test_static_ladder_bisects_to_smallest_slo_meeting_count(self, generator):
         recommender = self._recommender(generator)
         pods, ladder = recommender.peak_static_pods(search_max=6)
         assert 1 <= pods <= 6
-        assert len(ladder) == pods  # stopped at the first success
-        assert ladder[-1].meets_slo
-        for point in ladder[:-1]:
-            assert not point.meets_slo
+        by_pods = {point.min_pods: point for point in ladder}
+        # The answer's rung is always among the simulated points, the
+        # ladder is sorted, and bisection beats the linear climb.
+        assert sorted(by_pods) == [point.min_pods for point in ladder]
+        assert pods in by_pods
+        assert by_pods[pods].meets_slo or pods == 6
+        # Every simulated rung below the answer breaches, every rung at
+        # or above it meets — the monotone boundary bisection relies on.
+        for n, point in by_pods.items():
+            assert point.meets_slo == (n >= pods) or (
+                n == pods == 6 and not point.meets_slo
+            )
+
+    def test_static_ladder_matches_linear_climb(self, generator):
+        """Bisection returns the same answer a full linear ladder finds."""
+        recommender = self._recommender(generator)
+        pods, _ = recommender.peak_static_pods(search_max=6)
+        from repro.recommendation.elastic import ElasticCandidate as EC
+
+        linear = next(
+            (
+                n
+                for n in range(1, 7)
+                if recommender.evaluate(EC("static", n, n)).meets_slo
+            ),
+            6,
+        )
+        assert pods == linear
 
     def test_recommend_prefers_slo_meeting_cheapest(self, generator):
         rec = self._recommender(generator).recommend(search_max=6)
@@ -244,7 +268,7 @@ class TestElasticRecommender:
         data = rec.as_dict()
         assert set(data) == {
             "profile", "slo_p95_ttft_s", "chosen", "static", "curve",
-            "savings", "savings_fraction", "meets_slo",
+            "pruned", "savings", "savings_fraction", "meets_slo",
         }
         for point in data["curve"]:
             assert math.isfinite(point["pod_hours"])
@@ -540,3 +564,146 @@ class TestFeedbackScheduler:
             [(p.tenant, p.profile, p.n_pods) for p in o.iterations[-1].placements]
             for o in parallel
         ]
+
+
+class TestArrivalCache:
+    """The shared arrival-stream cache must be a pure performance knob:
+    one factory call per sweep, byte-identical recommendations."""
+
+    SLO = 2.0
+
+    def _recommender(self, generator, cache_arrivals=True, factory=None):
+        return ElasticRecommender(
+            _deployment(generator),
+            factory
+            or (lambda: PoissonTraffic(3.0, rng=derive_rng(0, "elastic-test"))),
+            CostObjective(
+                PRICING, LinearSLOPenalty(self.SLO, penalty_per_hour=100.0)
+            ),
+            slo_p95_ttft_s=self.SLO,
+            duration_s=60.0,
+            decision_interval_s=10.0,
+            cold_start_s=5.0,
+            metrics_window_s=15.0,
+            cache_arrivals=cache_arrivals,
+        )
+
+    def test_cached_recommendation_byte_identical_to_fresh(self, generator):
+        cached = self._recommender(generator, True).recommend(search_max=4)
+        fresh = self._recommender(generator, False).recommend(search_max=4)
+        assert json.dumps(cached.as_dict(), sort_keys=True) == json.dumps(
+            fresh.as_dict(), sort_keys=True
+        )
+
+    def test_factory_called_once_per_sweep(self, generator):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return PoissonTraffic(3.0, rng=derive_rng(0, "elastic-test"))
+
+        recommender = self._recommender(generator, True, factory=factory)
+        calls.clear()  # the constructor's open-loop probe does not count
+        recommender.evaluate(ElasticCandidate("static", 1, 1))
+        recommender.evaluate(ElasticCandidate("static", 2, 2))
+        assert len(calls) == 1
+
+    def test_cache_off_regenerates_per_candidate(self, generator):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return PoissonTraffic(3.0, rng=derive_rng(0, "elastic-test"))
+
+        recommender = self._recommender(generator, False, factory=factory)
+        calls.clear()
+        recommender.evaluate(ElasticCandidate("static", 1, 1))
+        recommender.evaluate(ElasticCandidate("static", 2, 2))
+        assert len(calls) == 2
+
+    def test_evaluate_many_dedupes_identical_candidates(self, generator):
+        recommender = self._recommender(generator)
+        rung = ElasticCandidate("static", 1, 1)
+        points = recommender.evaluate_many([rung, ElasticCandidate("static", 1, 1)])
+        assert points[0] is points[1]
+
+    def test_evaluate_many_keeps_distinct_policy_closures(self, generator):
+        """Same label and bounds, different policy factories: candidate
+        equality ignores the closure, the dedupe key must not."""
+        recommender = self._recommender(generator)
+        a = ElasticCandidate(
+            "threshold", 1, 2, lambda: ThresholdPolicy(slo_p95_ttft_s=0.5)
+        )
+        b = ElasticCandidate(
+            "threshold", 1, 2, lambda: ThresholdPolicy(slo_p95_ttft_s=10.0)
+        )
+        assert a == b  # dataclass equality is blind to the closure
+        points = recommender.evaluate_many([a, b])
+        assert points[0] is not points[1]
+
+
+class TestCostPruning:
+    SLO = 2.0
+
+    def _recommender(self, generator):
+        return ElasticRecommender(
+            _deployment(generator),
+            lambda: PoissonTraffic(3.0, rng=derive_rng(0, "elastic-test")),
+            CostObjective(
+                PRICING, LinearSLOPenalty(self.SLO, penalty_per_hour=100.0)
+            ),
+            slo_p95_ttft_s=self.SLO,
+            duration_s=60.0,
+            decision_interval_s=10.0,
+            cold_start_s=5.0,
+            metrics_window_s=15.0,
+        )
+
+    def test_prune_skips_dominated_candidate_and_records_it(
+        self, generator, caplog
+    ):
+        expensive = ElasticCandidate(
+            "threshold", 50, 60, lambda: ThresholdPolicy(slo_p95_ttft_s=0.5)
+        )
+        cheap = ElasticCandidate(
+            "threshold", 1, 4, lambda: ThresholdPolicy(slo_p95_ttft_s=0.5)
+        )
+        with caplog.at_level("INFO", logger="repro.recommendation.elastic"):
+            rec = self._recommender(generator).recommend(
+                candidates=[expensive, cheap], static_pods=3, prune=True
+            )
+        assert rec.static.meets_slo  # the prune needs an incumbent
+        assert [p.label for p in rec.pruned] == ["threshold[50..60]"]
+        pruned = rec.pruned[0]
+        assert pruned.cost_floor > pruned.incumbent_cost
+        assert pruned.incumbent_label == rec.static.label
+        # Never silent: the skip is logged and serialized.
+        assert any("pruned candidate" in r.message for r in caplog.records)
+        assert rec.as_dict()["pruned"][0]["label"] == "threshold[50..60]"
+        # Only the surviving candidate was simulated.
+        assert [p.label for p in rec.curve] == ["static[3]", "threshold[1..4]"]
+
+    def test_prune_without_slo_meeting_incumbent_keeps_everything(
+        self, generator
+    ):
+        # static[1] breaches this SLO, so there is no incumbent and
+        # nothing may be pruned — an infeasible baseline proves nothing.
+        expensive = ElasticCandidate(
+            "threshold", 50, 60, lambda: ThresholdPolicy(slo_p95_ttft_s=0.5)
+        )
+        rec = self._recommender(generator).recommend(
+            candidates=[expensive], static_pods=1, prune=True
+        )
+        assert not rec.static.meets_slo
+        assert rec.pruned == []
+        assert len(rec.curve) == 2
+
+    def test_prune_off_by_default(self, generator):
+        expensive = ElasticCandidate(
+            "threshold", 50, 60, lambda: ThresholdPolicy(slo_p95_ttft_s=0.5)
+        )
+        rec = self._recommender(generator).recommend(
+            candidates=[expensive], static_pods=3
+        )
+        assert rec.pruned == []
+        assert len(rec.curve) == 2

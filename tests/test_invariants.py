@@ -319,3 +319,60 @@ class TestFaultInvariants:
         # restart replacement.
         assert res.pod_seconds >= 0.0
         assert res.pod_seconds <= (4 + 1) * res.time_s * (1.0 + 1e-9)
+
+
+class TestSweepCacheInvariants:
+    """The elastic sweep's shared arrival-stream cache must be invisible:
+    whatever the traffic model and seed, a cached sweep equals the
+    factory-fresh sweep candidate-for-candidate."""
+
+    @SETTINGS
+    @given(seed=seeds, kind=traffic_kinds, rate=rates)
+    def test_cached_sweep_equals_fresh_candidate_for_candidate(
+        self, generator, seed, kind, rate
+    ):
+        import json
+
+        from repro.cluster import Deployment
+        from repro.hardware import aws_like_pricing
+        from repro.recommendation import (
+            CostObjective,
+            ElasticCandidate,
+            ElasticRecommender,
+            LinearSLOPenalty,
+        )
+
+        def recommender(cache_arrivals):
+            deployment = Deployment(
+                llm=LLM, profile=PROFILE, n_pods=1,
+                max_batch_weight=WEIGHT, generator=generator, seed=seed,
+            )
+            return ElasticRecommender(
+                deployment,
+                lambda: _traffic(kind, rate, seed),
+                CostObjective(
+                    aws_like_pricing(),
+                    LinearSLOPenalty(5.0, penalty_per_hour=100.0),
+                ),
+                slo_p95_ttft_s=5.0,
+                duration_s=20.0,
+                decision_interval_s=5.0,
+                cold_start_s=2.0,
+                metrics_window_s=10.0,
+                cache_arrivals=cache_arrivals,
+            )
+
+        candidates = [
+            ElasticCandidate("static", 1, 1),
+            ElasticCandidate("static", 2, 2),
+            ElasticCandidate(
+                "threshold", 1, 3, lambda: ThresholdPolicy(slo_p95_ttft_s=1.0)
+            ),
+        ]
+        cached = recommender(True).evaluate_many(candidates)
+        fresh = recommender(False).evaluate_many(candidates)
+        assert len(cached) == len(fresh)
+        for mine, ref in zip(cached, fresh):
+            assert json.dumps(mine.as_dict(), sort_keys=True) == json.dumps(
+                ref.as_dict(), sort_keys=True
+            )
