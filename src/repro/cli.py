@@ -42,7 +42,14 @@ from repro.characterization import (
     CharacterizationTool,
     PerfDataset,
 )
-from repro.hardware import aws_like_pricing, default_profiles, list_gpus, parse_profile
+from repro.hardware import (
+    CLOUD_PRICING_MODES,
+    aws_like_cloud_catalog,
+    aws_like_pricing,
+    default_profiles,
+    list_gpus,
+    parse_profile,
+)
 from repro.models import LLM_CATALOG, get_llm, list_llms
 from repro.recommendation import (
     CostObjective,
@@ -62,8 +69,10 @@ from repro.simulation import (
     ArrivalLog,
     Autoscaler,
     AutoscaleConfig,
+    BurstPolicy,
     BurstyTraffic,
     ClosedLoopTraffic,
+    CloudLedger,
     ClusterInventory,
     ClusterSimulator,
     DiurnalTraffic,
@@ -198,6 +207,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_args(p_cluster)
     _add_fault_args(p_cluster)
+    p_cluster.add_argument(
+        "--cloud",
+        action="store_true",
+        help="enable the elastic cloud capacity tier: scale-ups the "
+        "inventory denies or clips burst into a priced cloud catalog "
+        "instead of queueing on-prem",
+    )
+    _add_cloud_args(p_cluster)
+    p_cluster.add_argument(
+        "--cloud-spot-rate",
+        type=float,
+        default=0.05,
+        metavar="PER_HOUR",
+        help="spot-interruption rate per rented instance-hour (spot mode "
+        "injects seeded spot-preempt faults at this rate)",
+    )
+    p_cluster.add_argument(
+        "--cloud-seed",
+        type=int,
+        default=0,
+        help="seed for the cloud ledger's spot-preemption schedules",
+    )
     _add_json_arg(p_cluster)
 
     p_elastic = sub.add_parser(
@@ -270,6 +301,16 @@ def build_parser() -> argparse.ArgumentParser:
         "SLO-meeting incumbent's total cost (each skip is logged and "
         "reported)",
     )
+    p_elastic.add_argument(
+        "--on-prem-pods",
+        type=int,
+        default=0,
+        metavar="N",
+        help="hybrid sweep: the first N provisioned pods are owned "
+        "hardware, overflow rents from the cloud catalog and candidates "
+        "are scored against the mixed bill (0: purely on-prem)",
+    )
+    _add_cloud_args(p_elastic)
     _add_json_arg(p_elastic)
 
     return parser
@@ -407,7 +448,8 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
         dest="faults",
         metavar="KIND@TIME[:K=V,...]",
         help="inject one fault (repeatable): KIND is crash / slowdown / "
-        "zone-outage, TIME is seconds into the run; options after ':' "
+        "zone-outage / spot-preempt, TIME is seconds into the run; "
+        "options after ':' "
         "are comma-separated key=value pairs from pod, zone, mode "
         "(requeue/lose), restart, duration, factor — e.g. "
         "'crash@30:restart=10', 'slowdown@20:duration=30,factor=4', "
@@ -419,6 +461,46 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
         default=1,
         help="spread pods round-robin over N availability zones",
     )
+
+
+def _add_cloud_args(p: argparse.ArgumentParser) -> None:
+    """Cloud-tier flags shared by cluster-sim and recommend-elastic.
+
+    (``--fault spot-preempt@T`` rides the ordinary ``--fault`` flag.)
+    """
+    p.add_argument(
+        "--cloud-mode",
+        choices=list(CLOUD_PRICING_MODES),
+        default="on-demand",
+        help="purchasing mode for every cloud rental",
+    )
+    p.add_argument(
+        "--cloud-quota",
+        action="append",
+        dest="cloud_quota",
+        metavar="GPU=N",
+        help="account quota in GPUs for one cloud instance type "
+        "(repeatable; unlisted types are unmetered)",
+    )
+    p.add_argument(
+        "--max-cloud-pods",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on the cloud pods one tenant may hold at once",
+    )
+
+
+def _parse_cloud_quota(items) -> dict[str, int] | None:
+    if not items:
+        return None
+    quota: dict[str, int] = {}
+    for item in items:
+        gpu, _, count = item.partition("=")
+        if not count or not count.lstrip("-").isdigit():
+            raise ValueError(f"cloud quota spec must be GPU=N, got {item!r}")
+        quota[gpu] = int(count)
+    return quota
 
 
 def _add_json_arg(p: argparse.ArgumentParser) -> None:
@@ -918,6 +1000,11 @@ def _cmd_cluster_sim(args) -> int:
             raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
         if args.scenarios:
             _reject_faults_with_scenario(args)
+            if args.cloud:
+                raise ValueError(
+                    "--cloud cannot combine with --scenario; declare the "
+                    "cloud tier in the scenario's cloud: section instead"
+                )
             specs = []
             for path in args.scenarios:
                 spec = ScenarioSpec.load(path)
@@ -952,10 +1039,22 @@ def _cmd_cluster_sim(args) -> int:
                     raise ValueError(f"capacity spec must be GPU=N, got {item!r}")
                 capacity[gpu] = int(count)
             groups = [_parse_tenant_group(s, args, generator) for s in args.tenants]
+            cloud = burst = None
+            if args.cloud:
+                catalog = aws_like_cloud_catalog(
+                    quota_gpus=_parse_cloud_quota(args.cloud_quota),
+                    spot_interruptions_per_hour=args.cloud_spot_rate,
+                )
+                cloud = CloudLedger(catalog, seed=args.cloud_seed)
+                burst = BurstPolicy(
+                    mode=args.cloud_mode, max_cloud_pods=args.max_cloud_pods
+                )
             sim = ClusterSimulator(
                 groups,
                 ClusterInventory(capacity=capacity),
                 fast=not args.no_fast_cluster,
+                cloud=cloud,
+                burst=burst,
             )
             names = [None]
             results = [sim.run(duration_s=args.duration, warmup_s=args.warmup)]
@@ -1061,6 +1160,12 @@ def _render_cluster_sim(res, pricing) -> str:
         "Peak GPU occupancy: "
         + ", ".join(f"{gpu} {peak[gpu]}/{cap}" for gpu, cap in res.capacity.items())
     )
+    if res.cloud_catalog is not None:
+        cloud_ps = sum(res.results[t].cloud_pod_seconds for t in res.tenants)
+        out.append(
+            f"Cloud burst: {cloud_ps:.0f} pod-seconds rented "
+            f"({len(res.cloud_events)} ledger events)"
+        )
     fault_events = res.fault_events()
     if fault_events:
         shown = ", ".join(
@@ -1087,6 +1192,11 @@ def _cmd_recommend_elastic(args) -> int:
             seed=args.seed,
         )
         penalty_cls = LinearSLOPenalty if args.penalty == "linear" else StepSLOPenalty
+        if args.on_prem_pods < 0:
+            raise ValueError(
+                f"--on-prem-pods must be >= 0, got {args.on_prem_pods}"
+            )
+        hybrid = args.on_prem_pods > 0
         objective = CostObjective(
             pricing=aws_like_pricing(),
             penalty=penalty_cls(
@@ -1094,6 +1204,12 @@ def _cmd_recommend_elastic(args) -> int:
                 penalty_per_hour=args.penalty_per_hour,
                 penalty_per_shed=args.penalty_per_shed,
             ),
+            cloud=aws_like_cloud_catalog(
+                quota_gpus=_parse_cloud_quota(args.cloud_quota)
+            )
+            if hybrid
+            else None,
+            cloud_mode=args.cloud_mode,
         )
         traffic_param = _traffic_param(args)
         if args.traffic == "replay":
@@ -1122,6 +1238,12 @@ def _cmd_recommend_elastic(args) -> int:
             router_factory=lambda: ROUTERS[args.router](),
             stream_label=args.traffic,
             cache_arrivals=not args.no_arrival_cache,
+            on_prem_pods=args.on_prem_pods or None,
+            burst=BurstPolicy(
+                mode=args.cloud_mode, max_cloud_pods=args.max_cloud_pods
+            )
+            if hybrid
+            else None,
         )
         if args.jobs < 1:
             raise ValueError(f"--jobs must be >= 1, got {args.jobs}")

@@ -2,7 +2,14 @@
 
 from repro.hardware.gpu import GPUSpec, GPU_CATALOG, get_gpu, list_gpus
 from repro.hardware.profile import GPUProfile, default_profiles, parse_profile
-from repro.hardware.pricing import PricingTable, aws_like_pricing
+from repro.hardware.pricing import (
+    CLOUD_PRICING_MODES,
+    CloudCatalog,
+    CloudInstanceType,
+    PricingTable,
+    aws_like_cloud_catalog,
+    aws_like_pricing,
+)
 
 __all__ = [
     "GPUSpec",
@@ -14,4 +21,8 @@ __all__ = [
     "parse_profile",
     "PricingTable",
     "aws_like_pricing",
+    "CLOUD_PRICING_MODES",
+    "CloudCatalog",
+    "CloudInstanceType",
+    "aws_like_cloud_catalog",
 ]

@@ -42,8 +42,9 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.hardware.pricing import PricingTable
+from repro.hardware.pricing import CLOUD_PRICING_MODES, CloudCatalog, PricingTable
 from repro.utils.parallel import fork_map
+from repro.simulation.cloud import BurstPolicy, CloudLedger, HybridCapacity
 from repro.simulation.autoscale import (
     Autoscaler,
     AutoscaleConfig,
@@ -162,14 +163,48 @@ class CostObjective:
     The compute bill is the run's provisioned pod-seconds priced at the
     profile's hourly c(G) — exactly what an elastic deployment pays,
     as opposed to Eq. (1)'s ``n * c(G)`` flat rate for a static one.
+
+    With ``cloud`` set the bill is *mixed*: the run's on-prem
+    pod-seconds stay at the pricing table's rate, while its cloud
+    pod-seconds (a hybrid fleet's burst tier) are priced from the
+    catalog under ``cloud_mode``. A run that rented cloud capacity
+    cannot be scored without a catalog — that is a hard error, not a
+    silently on-prem-priced bill.
     """
 
     pricing: PricingTable
     penalty: SLOPenaltyFn
+    cloud: CloudCatalog | None = None
+    cloud_mode: str = "on-demand"
+
+    def __post_init__(self) -> None:
+        if self.cloud_mode not in CLOUD_PRICING_MODES:
+            raise ValueError(
+                f"unknown cloud pricing mode {self.cloud_mode!r}; "
+                f"expected one of {', '.join(CLOUD_PRICING_MODES)}"
+            )
 
     def compute_cost(self, result: FleetResult, profile) -> float:
-        """Pod-second bill of the run on ``profile``, in dollars."""
-        return result.pod_hours * self.pricing.pod_cost(profile)
+        """Pod-second bill of the run on ``profile``, in dollars.
+
+        Splits into on-prem and cloud tiers when the run burst to the
+        cloud; a purely on-prem run bills exactly as before.
+        """
+        cloud_s = getattr(result, "cloud_pod_seconds", 0.0)
+        if cloud_s <= 0:
+            return result.pod_hours * self.pricing.pod_cost(profile)
+        if self.cloud is None:
+            raise ValueError(
+                f"run billed {cloud_s:.0f} cloud pod-seconds but this "
+                "objective has no cloud catalog to price them; construct "
+                "CostObjective(cloud=...) with the catalog the fleet "
+                "burst into"
+            )
+        on_prem_hours = result.on_prem_pod_seconds / 3600.0
+        cloud_hours = cloud_s / 3600.0
+        return on_prem_hours * self.pricing.pod_cost(
+            profile
+        ) + cloud_hours * self.cloud.pod_cost(profile, self.cloud_mode)
 
     def slo_penalty(self, result: FleetResult) -> float:
         """The penalty function's charge for the run, in dollars."""
@@ -432,6 +467,13 @@ class ElasticRecommender:
     stream materialized as a :class:`RecordedTraffic`, and every
     candidate replays the shared arrays bit-identically — instead of
     regenerating identical timestamps and token draws per candidate.
+
+    With ``on_prem_pods`` set the sweep is *hybrid*: each candidate's
+    fleet is bound to a :class:`~repro.simulation.cloud.HybridCapacity`
+    — the first ``on_prem_pods`` provisioned pods are owned, overflow
+    rents from the objective's cloud catalog under ``burst`` (default:
+    an unbounded :class:`~repro.simulation.cloud.BurstPolicy` in the
+    objective's ``cloud_mode``) — and scored against the mixed bill.
     """
 
     def __init__(
@@ -448,11 +490,29 @@ class ElasticRecommender:
         router_factory: Callable[[], Router] | None = None,
         stream_label: object = "elastic",
         cache_arrivals: bool = True,
+        on_prem_pods: int | None = None,
+        burst: BurstPolicy | None = None,
     ) -> None:
         if duration_s <= 0:
             raise ValueError(f"duration_s must be positive, got {duration_s}")
         if slo_p95_ttft_s <= 0:
             raise ValueError(f"slo_p95_ttft_s must be positive, got {slo_p95_ttft_s}")
+        if on_prem_pods is not None:
+            if on_prem_pods < 1:
+                raise ValueError(
+                    f"on_prem_pods must be >= 1, got {on_prem_pods}"
+                )
+            if objective.cloud is None:
+                raise ValueError(
+                    "a hybrid sweep (on_prem_pods set) needs a cloud "
+                    "catalog to rent overflow from; construct the "
+                    "objective with CostObjective(cloud=...)"
+                )
+        elif burst is not None:
+            raise ValueError(
+                "a burst policy without on_prem_pods has nothing to "
+                "overflow from; set on_prem_pods to the owned-tier size"
+            )
         # The sweep's premise is that every candidate faces the *same*
         # offered load. Purely completion-driven (closed-loop) traffic
         # has no scheduled arrivals — arrivals adapt to each candidate's
@@ -477,6 +537,10 @@ class ElasticRecommender:
         self.router_factory = router_factory
         self.stream_label = stream_label
         self.cache_arrivals = bool(cache_arrivals)
+        self.on_prem_pods = None if on_prem_pods is None else int(on_prem_pods)
+        if on_prem_pods is not None and burst is None:
+            burst = BurstPolicy(mode=objective.cloud_mode)
+        self.burst = burst
         self._recorded: RecordedTraffic | None = None
 
     # ---- the shared arrival stream ----------------------------------------
@@ -520,15 +584,42 @@ class ElasticRecommender:
             )
         deployment = self.deployment.scale(candidate.min_pods)
         router = self.router_factory() if self.router_factory else None
-        result = deployment.simulate(
-            self._traffic(),
-            duration_s=self.duration_s,
-            router=router,
-            warmup_s=self.warmup_s,
-            stream_label=self.stream_label,
-            keep_samples=False,
-            autoscaler=autoscaler,
-        )
+        if self.on_prem_pods is None:
+            result = deployment.simulate(
+                self._traffic(),
+                duration_s=self.duration_s,
+                router=router,
+                warmup_s=self.warmup_s,
+                stream_label=self.stream_label,
+                keep_samples=False,
+                autoscaler=autoscaler,
+            )
+        else:
+            # Hybrid sweep: the first ``on_prem_pods`` provisioned pods
+            # are owned, anything beyond rents from the objective's
+            # catalog. A fresh ledger per evaluation keeps candidates
+            # independent (and fork_map-safe): rented capacity never
+            # leaks between candidates.
+            fleet = deployment.fleet(
+                self._traffic(),
+                router=router,
+                stream_label=self.stream_label,
+                autoscaler=autoscaler,
+            )
+            assert self.objective.cloud is not None
+            assert self.burst is not None
+            hybrid = HybridCapacity(
+                self.on_prem_pods,
+                CloudLedger(self.objective.cloud, seed=self.deployment.seed),
+                self.burst,
+                self.deployment.profile.name,
+            )
+            hybrid.bind(fleet)
+            result = fleet.run(
+                duration_s=self.duration_s,
+                warmup_s=self.warmup_s,
+                keep_samples=False,
+            )
         result.verify_conservation()
         profile = self.deployment.profile
         compute = self.objective.compute_cost(result, profile)
@@ -681,6 +772,13 @@ class ElasticRecommender:
         in the recommendation's ``pruned`` list, never silent.
         """
         ladder: list[TradePoint] = []
+        if self.on_prem_pods is not None:
+            # The static baseline of a hybrid sweep is the owned tier
+            # alone: a static fleet cannot burst (it never scales), so
+            # rungs beyond on_prem_pods are unbuildable. An owned tier
+            # too small to meet the SLO statically is reported honestly
+            # (penalty dominates) — exactly the case where bursting wins.
+            search_max = min(search_max, self.on_prem_pods)
         if static_pods is None:
             static_pods, ladder = self.peak_static_pods(search_max, jobs=jobs)
             static_point = next(
@@ -744,6 +842,20 @@ class ElasticRecommender:
         # grow, so the duration-only floor stays a valid lower bound.
         hours = self.duration_s / 3600.0
         pod_cost = self.objective.pricing.pod_cost(self.deployment.profile)
+        if (
+            self.on_prem_pods is not None
+            and self.objective.cloud is not None
+            and self.objective.cloud.offers(self.deployment.profile.gpu.name)
+        ):
+            # A hybrid candidate's floor pods may seat in whichever tier
+            # is cheaper, so only the minimum of the two prices keeps
+            # the floor a valid lower bound.
+            pod_cost = min(
+                pod_cost,
+                self.objective.cloud.pod_cost(
+                    self.deployment.profile, self.objective.cloud_mode
+                ),
+            )
         kept: list[ElasticCandidate] = []
         pruned: list[PrunedCandidate] = []
         for candidate in candidates:

@@ -64,6 +64,13 @@ from repro.simulation.autoscale import (
     TargetUtilizationPolicy,
     ThresholdPolicy,
 )
+from repro.simulation.cloud import (
+    BurstPolicy,
+    CloudLedger,
+    CloudUsageEvent,
+    HybridCapacity,
+    spot_preemption_specs,
+)
 from repro.simulation.cluster import (
     ClusterInventory,
     ClusterResult,
@@ -90,6 +97,11 @@ __all__ = [
     "ScenarioSpec",
     "load_scenario",
     "WeightAwareRouter",
+    "BurstPolicy",
+    "CloudLedger",
+    "CloudUsageEvent",
+    "HybridCapacity",
+    "spot_preemption_specs",
     "ClusterInventory",
     "ClusterResult",
     "ClusterSimulator",

@@ -1,0 +1,360 @@
+"""The elastic cloud capacity tier of the cluster co-simulation.
+
+On-prem capacity is one finite :class:`~repro.simulation.cluster.ClusterInventory`;
+production fleets *burst*: when a scale-up cannot be filled from owned
+GPUs, the shortfall is rented from a priced cloud catalog instead of
+queueing on-prem. This module carries the pieces the cluster loop needs:
+
+* a :class:`BurstPolicy` decides, per denied/clipped scale-up, how many
+  of the missing pods to rent — bounded by a pod cap and a price cap,
+  under one purchasing mode (on-demand / spot / reserved);
+* a :class:`CloudLedger` is the rented-capacity counterpart of the
+  on-prem inventory: per-GPU-type usage against the catalog's account
+  quotas, every change recorded as a :class:`CloudUsageEvent` so mixed
+  bills and conservation checks can replay it after the run;
+* :func:`spot_preemption_specs` expands a catalog's spot-interruption
+  rate into a seeded Poisson schedule of ``"spot-preempt"``
+  :class:`~repro.simulation.faults.FaultSpec`\\ s, which flow through the
+  ordinary fault-injection path (victims restricted to cloud pods), so
+  request conservation holds when a spot pod is reclaimed mid-flight;
+* :class:`HybridCapacity` binds a *standalone* fleet to the same
+  on-prem-first / cloud-overflow discipline, which is how the elastic
+  recommender scores candidates against mixed bills without spinning up
+  a whole cluster simulation.
+
+Both cluster loops (fast and oracle) reach capacity only through the
+acquire/release closures the simulator installs, so burst decisions are
+bit-identical across them by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.pricing import CLOUD_PRICING_MODES, CloudCatalog
+from repro.hardware.profile import parse_profile
+from repro.simulation.faults import FaultSpec
+from repro.simulation.fleet import FleetSimulator
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "BurstPolicy",
+    "CloudUsageEvent",
+    "CloudLedger",
+    "HybridCapacity",
+    "spot_preemption_specs",
+]
+
+
+@dataclass(frozen=True)
+class BurstPolicy:
+    """When and how far to burst a denied/clipped scale-up to the cloud.
+
+    ``mode`` picks the purchasing mode for every rental this policy
+    makes. ``max_cloud_pods`` caps the pods a tenant may hold in the
+    cloud at once (``None`` = unbounded, the account quota still
+    applies). ``price_cap_per_pod_hour`` refuses to rent at all when the
+    pod-hour price under ``mode`` exceeds it — the "queue on-prem, the
+    cloud is too expensive right now" decision.
+    """
+
+    mode: str = "on-demand"
+    max_cloud_pods: int | None = None
+    price_cap_per_pod_hour: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in CLOUD_PRICING_MODES:
+            raise ValueError(
+                f"unknown cloud pricing mode {self.mode!r}; "
+                f"expected one of {', '.join(CLOUD_PRICING_MODES)}"
+            )
+        if self.max_cloud_pods is not None and self.max_cloud_pods < 0:
+            raise ValueError(
+                f"max_cloud_pods must be >= 0, got {self.max_cloud_pods}"
+            )
+        if (
+            self.price_cap_per_pod_hour is not None
+            and self.price_cap_per_pod_hour < 0
+        ):
+            raise ValueError(
+                f"price_cap_per_pod_hour must be >= 0, "
+                f"got {self.price_cap_per_pod_hour}"
+            )
+
+    def burst_pods(
+        self, shortfall: int, held_cloud_pods: int, pod_price_per_hour: float
+    ) -> int:
+        """How many of ``shortfall`` missing pods this policy rents.
+
+        ``held_cloud_pods`` is what the tenant already rents (counted
+        against ``max_cloud_pods``); ``pod_price_per_hour`` is the
+        catalog's pod-hour price under :attr:`mode`, checked against the
+        price cap. The account quota is the ledger's business, not the
+        policy's — the ledger clips the returned ask further.
+        """
+        if shortfall <= 0:
+            return 0
+        if (
+            self.price_cap_per_pod_hour is not None
+            and pod_price_per_hour > self.price_cap_per_pod_hour
+        ):
+            return 0
+        ask = shortfall
+        if self.max_cloud_pods is not None:
+            ask = min(ask, max(0, self.max_cloud_pods - held_cloud_pods))
+        return ask
+
+
+@dataclass(frozen=True)
+class CloudUsageEvent:
+    """One attributed change of rented cloud capacity, on the shared clock.
+
+    The cloud-tier mirror of
+    :class:`~repro.simulation.cluster.InventoryEvent`: ``delta`` counts
+    GPUs of type ``gpu`` (positive = rented, negative = returned),
+    ``mode`` the purchasing mode, and ``reason`` is ``"burst"`` for
+    rentals, ``"scale-down"`` for returns from cancelled cold starts and
+    retired pods, and ``"spot-preempt"`` when the provider reclaimed the
+    instance.
+    """
+
+    time_s: float
+    tenant: str
+    gpu: str
+    delta: int
+    mode: str
+    reason: str
+
+
+@dataclass
+class CloudLedger:
+    """Rented capacity, by GPU type, against the catalog's account quotas.
+
+    The elastic counterpart of the on-prem inventory ledger: usage may
+    grow without bound for unmetered types, a type with ``quota_gpus``
+    set clips every rental at the account cap, and each tenant's
+    currently-rented pod count is tracked so burst policies can enforce
+    per-tenant caps. ``seed`` drives the spot-preemption schedules
+    derived from this ledger's catalog.
+    """
+
+    catalog: CloudCatalog
+    seed: int = 0
+    used: dict[str, int] = field(default_factory=dict)
+    events: list[CloudUsageEvent] = field(default_factory=list)
+    held: dict[str, int] = field(default_factory=dict)
+
+    def available_gpus(self, gpu_name: str) -> int | None:
+        """GPUs of this type still rentable (``None`` = unmetered)."""
+        if not self.catalog.offers(gpu_name):
+            return 0
+        quota = self.catalog.quota_gpus(gpu_name)
+        if quota is None:
+            return None
+        return max(0, quota - self.used.get(gpu_name, 0))
+
+    def fillable_pods(self, profile_name: str) -> int:
+        """How many whole pods of ``profile_name`` the quota still fills.
+
+        Unmetered types report a practically-unbounded count; types the
+        provider does not rent at all report 0.
+        """
+        profile = parse_profile(profile_name)
+        headroom = self.available_gpus(profile.gpu.name)
+        if headroom is None:
+            return 1 << 30
+        return headroom // profile.count
+
+    def held_pods(self, tenant: str) -> int:
+        """Pods this tenant currently rents (all purchasing modes)."""
+        return self.held.get(tenant, 0)
+
+    def allocate(
+        self,
+        profile_name: str,
+        pods: int,
+        tenant: str,
+        time_s: float,
+        mode: str,
+        reason: str = "burst",
+    ) -> None:
+        """Rent ``pods`` pods' worth of GPUs (raises past the quota)."""
+        profile = parse_profile(profile_name)
+        need = profile.count * pods
+        headroom = self.available_gpus(profile.gpu.name)
+        if headroom is not None and need > headroom:
+            raise ValueError(
+                f"cloud quota exceeded for {profile.gpu.name}: need {need}, "
+                f"quota headroom {headroom}"
+            )
+        if need:
+            self.used[profile.gpu.name] = (
+                self.used.get(profile.gpu.name, 0) + need
+            )
+            self.held[tenant] = self.held.get(tenant, 0) + pods
+            self.events.append(
+                CloudUsageEvent(
+                    time_s, tenant, profile.gpu.name, need, mode, reason
+                )
+            )
+
+    def release(
+        self,
+        profile_name: str,
+        pods: int,
+        tenant: str,
+        time_s: float,
+        mode: str,
+        reason: str = "scale-down",
+    ) -> None:
+        """Return ``pods`` pods' worth of GPUs (the inverse of allocate)."""
+        profile = parse_profile(profile_name)
+        need = profile.count * pods
+        if self.used.get(profile.gpu.name, 0) < need:
+            raise ValueError("returning more cloud GPUs than rented")
+        if self.held.get(tenant, 0) < pods:
+            raise ValueError(f"tenant {tenant!r} returns pods it never rented")
+        if need:
+            self.used[profile.gpu.name] -= need
+            self.held[tenant] -= pods
+            self.events.append(
+                CloudUsageEvent(
+                    time_s, tenant, profile.gpu.name, -need, mode, reason
+                )
+            )
+
+
+def spot_preemption_specs(
+    rate_per_hour: float,
+    horizon_s: float,
+    seed: int,
+    *labels: str,
+    mode: str = "requeue",
+) -> list[FaultSpec]:
+    """A seeded Poisson schedule of untargeted ``"spot-preempt"`` faults.
+
+    ``rate_per_hour`` is the catalog's per-instance interruption rate;
+    event times are drawn over ``[0, horizon_s)`` from the stream
+    ``derive_rng(seed, "spot-preemptions", *labels)``, so the schedule
+    is exactly reproducible and independent per (seed, label) — one
+    label per tenant keeps tenants' preemption draws uncorrelated.
+    Victims resolve at fire time to the tenant's cloud pods only; a
+    preemption that fires while no cloud pod is held is recorded as an
+    ineffective fault event, exactly like a crash with no in-service
+    victim.
+    """
+    if rate_per_hour < 0:
+        raise ValueError(f"rate_per_hour must be >= 0, got {rate_per_hour}")
+    if horizon_s <= 0:
+        raise ValueError(f"horizon_s must be positive, got {horizon_s}")
+    if rate_per_hour == 0:
+        return []
+    rng = derive_rng(seed, "spot-preemptions", *labels)
+    rate_per_s = rate_per_hour / 3600.0
+    specs: list[FaultSpec] = []
+    t = float(rng.exponential(1.0 / rate_per_s))
+    while t < horizon_s:
+        specs.append(FaultSpec(kind="spot-preempt", time_s=t, mode=mode))
+        t += float(rng.exponential(1.0 / rate_per_s))
+    return specs
+
+
+class HybridCapacity:
+    """Bind a standalone fleet to on-prem-first / cloud-overflow capacity.
+
+    The single-fleet counterpart of the cluster simulator's burst
+    wiring, used by the elastic recommender to score candidates against
+    mixed bills: the first ``on_prem_pods`` concurrently-provisioned
+    pods are owned hardware, and every pod beyond that is rented from
+    ``ledger`` under ``policy`` — or denied, when policy, per-tenant
+    cap, or account quota refuse, exactly as a cluster tenant would be
+    clipped.
+    """
+
+    def __init__(
+        self,
+        on_prem_pods: int,
+        ledger: CloudLedger,
+        policy: BurstPolicy,
+        profile_name: str,
+        tenant: str = "fleet",
+    ) -> None:
+        if on_prem_pods < 0:
+            raise ValueError(f"on_prem_pods must be >= 0, got {on_prem_pods}")
+        self.on_prem_pods = int(on_prem_pods)
+        self.ledger = ledger
+        self.policy = policy
+        self.profile_name = profile_name
+        self.profile = parse_profile(profile_name)
+        self.tenant = tenant
+        self._on_prem_used = 0
+        self._fleet: FleetSimulator | None = None
+
+    def bind(self, fleet: FleetSimulator) -> None:
+        """Install the hybrid acquire/release closures on ``fleet``.
+
+        The fleet's initial pods are seated on-prem; they must fit under
+        ``on_prem_pods`` (an initial fleet larger than the owned tier
+        would silently start life in the cloud, which no operator
+        means).
+        """
+        if len(fleet.pods) > self.on_prem_pods:
+            raise ValueError(
+                f"initial fleet of {len(fleet.pods)} pods exceeds the "
+                f"{self.on_prem_pods}-pod on-prem tier"
+            )
+        self._fleet = fleet
+        self._on_prem_used = len(fleet.pods)
+        fleet.bind_capacity(self._acquire, self._release)
+
+    def _acquire(self, want: int, t: float) -> int:
+        fleet = self._fleet
+        assert fleet is not None
+        grant = min(want, self.on_prem_pods - self._on_prem_used)
+        burst = 0
+        shortfall = want - grant
+        if shortfall > 0 and self.ledger.catalog.offers(self.profile.gpu.name):
+            price = self.ledger.catalog.pod_cost(self.profile, self.policy.mode)
+            ask = self.policy.burst_pods(
+                shortfall, self.ledger.held_pods(self.tenant), price
+            )
+            burst = min(ask, self.ledger.fillable_pods(self.profile_name))
+            if burst > 0:
+                fleet.mark_cloud(
+                    range(
+                        fleet.next_serial + grant,
+                        fleet.next_serial + grant + burst,
+                    )
+                )
+                self.ledger.allocate(
+                    self.profile_name,
+                    burst,
+                    tenant=self.tenant,
+                    time_s=t,
+                    mode=self.policy.mode,
+                )
+        self._on_prem_used += grant
+        return grant + burst
+
+    def _release(
+        self,
+        pods: int,
+        t: float,
+        serials: list[int] | None = None,
+        reason: str = "scale-down",
+    ) -> None:
+        fleet = self._fleet
+        assert fleet is not None
+        cloud_n = 0
+        if serials is not None and fleet.cloud_serials:
+            cloud_n = sum(1 for s in serials if s in fleet.cloud_serials)
+        if cloud_n:
+            self.ledger.release(
+                self.profile_name,
+                cloud_n,
+                tenant=self.tenant,
+                time_s=t,
+                mode=self.policy.mode,
+                reason="spot-preempt" if reason == "spot-preempt" else "scale-down",
+            )
+        self._on_prem_used -= pods - cloud_n

@@ -41,9 +41,15 @@ from typing import ClassVar
 
 import numpy as np
 
-from repro.hardware.pricing import PricingTable
+from repro.hardware.pricing import CloudCatalog, PricingTable
 from repro.hardware.profile import parse_profile
-from repro.simulation.faults import FaultEvent
+from repro.simulation.cloud import (
+    BurstPolicy,
+    CloudLedger,
+    CloudUsageEvent,
+    spot_preemption_specs,
+)
+from repro.simulation.faults import FaultEvent, FaultInjector
 from repro.simulation.fleet import FleetResult, FleetSimulator, ScaleEvent
 from repro.simulation.frontier import ClusterFrontier
 from repro.simulation.results import fault_event_dict, json_float
@@ -210,6 +216,13 @@ class ClusterResult:
     base_used: dict[str, int] = field(default_factory=dict, repr=False)
     sim_events: int = 0
     wall_time_s: float = 0.0
+    # Cloud-burst tier (absent on pure on-prem runs): the rented-capacity
+    # event ledger, the catalog prices were taken from, and each
+    # bursting tenant's purchasing mode (tenants without a burst policy
+    # are absent from the mapping).
+    cloud_events: list[CloudUsageEvent] = field(default_factory=list, repr=False)
+    cloud_catalog: CloudCatalog | None = None
+    cloud_modes: dict[str, str] = field(default_factory=dict)
 
     @property
     def events_per_second(self) -> float:
@@ -244,13 +257,59 @@ class ClusterResult:
                     out.append((tenant, event))
         return out
 
-    def cost(self, pricing: PricingTable) -> dict[str, float]:
-        """Each tenant's bill: pod-seconds priced at its profile's c(G)."""
-        out = {}
+    def billing(self, pricing: PricingTable) -> dict[str, dict]:
+        """Per-tenant, per-tier bill line items for the simulated window.
+
+        Each tenant maps to an ``on_prem`` line (owned pod-seconds at the
+        profile's c(G)) and, when the tenant burst, a ``cloud`` line
+        (rented pod-seconds at the catalog's per-mode price) plus the
+        ``total``. Tenants that never burst carry ``cloud: None``, so a
+        pure on-prem bill reads exactly as before the cloud tier existed.
+        """
+        out: dict[str, dict] = {}
         for tenant in self.tenants:
-            pod_cost = pricing.pod_cost(parse_profile(self.profiles[tenant]))
-            out[tenant] = self.results[tenant].pod_seconds / 3600.0 * pod_cost
+            result = self.results[tenant]
+            profile = parse_profile(self.profiles[tenant])
+            on_prem_hourly = pricing.pod_cost(profile)
+            on_prem_cost = result.on_prem_pod_seconds / 3600.0 * on_prem_hourly
+            line = {
+                "on_prem": {
+                    "pod_seconds": result.on_prem_pod_seconds,
+                    "hourly_per_pod": on_prem_hourly,
+                    "cost": on_prem_cost,
+                },
+                "cloud": None,
+                "total": on_prem_cost,
+            }
+            if result.cloud_pod_seconds > 0:
+                if self.cloud_catalog is None:
+                    raise ValueError(
+                        f"tenant {tenant!r} has cloud pod-seconds but the "
+                        f"result carries no cloud catalog to price them"
+                    )
+                mode = self.cloud_modes.get(tenant, "on-demand")
+                cloud_hourly = self.cloud_catalog.pod_cost(profile, mode)
+                cloud_cost = result.cloud_pod_seconds / 3600.0 * cloud_hourly
+                line["cloud"] = {
+                    "pod_seconds": result.cloud_pod_seconds,
+                    "mode": mode,
+                    "hourly_per_pod": cloud_hourly,
+                    "cost": cloud_cost,
+                }
+                line["total"] = on_prem_cost + cloud_cost
+            out[tenant] = line
         return out
+
+    def cost(self, pricing: PricingTable) -> dict[str, float]:
+        """Each tenant's bill: per-tier pod-seconds priced at that tier.
+
+        On-prem pod-seconds are priced at the profile's c(G); cloud-burst
+        pod-seconds at the result's catalog under the tenant's purchasing
+        mode. Reduces to the pure on-prem bill when no tenant burst.
+        """
+        return {
+            tenant: line["total"] for tenant, line in self.billing(pricing).items()
+        }
 
     def total_cost(self, pricing: PricingTable) -> float:
         """The whole cluster's bill for the simulated window."""
@@ -334,24 +393,24 @@ class ClusterResult:
     def recovery_time_s(self, tenant: str, window_s: float = 10.0) -> float | None:
         """Tenant's post-fault recovery time against its declared SLO.
 
-        None when the tenant has no SLO, suffered no disruptive fault,
-        or the run dropped its samples (``keep_samples=False``).
+        None when the tenant has no SLO or suffered no disruptive
+        fault. A faulted tenant whose run dropped its samples raises
+        (``keep_samples=True`` is required) — silently answering None
+        there would be indistinguishable from a fault-free run.
         """
         slo = self.slos.get(tenant)
-        result = self.results[tenant]
-        if slo is None or result.metrics is None:
+        if slo is None:
             return None
-        return result.recovery_time_s(slo, window_s)
+        return self.results[tenant].recovery_time_s(slo, window_s)
 
     def degraded_slo_attainment(
         self, tenant: str, window_s: float = 10.0
     ) -> float | None:
         """Tenant's post-fault windowed SLO attainment (None: see above)."""
         slo = self.slos.get(tenant)
-        result = self.results[tenant]
-        if slo is None or result.metrics is None:
+        if slo is None:
             return None
-        return result.degraded_slo_attainment(slo, window_s)
+        return self.results[tenant].degraded_slo_attainment(slo, window_s)
 
     def verify(self) -> None:
         """Uniform SimResult name for :meth:`verify_conservation`."""
@@ -365,10 +424,17 @@ class ClusterResult:
         Without a ``pricing`` table the per-tenant ``cost`` and cluster
         ``total_cost`` fields are None.
         """
-        cost = self.cost(pricing) if pricing is not None else None
+        billing = self.billing(pricing) if pricing is not None else None
         tenants = []
         for tenant in self.tenants:
             result = self.results[tenant]
+            # A faulted tenant without samples would raise from the
+            # recovery metrics (keep_samples=False is the cluster-run
+            # default); the JSON payload reports null for them instead.
+            measurable = result.metrics is not None or not any(
+                e.disruptive for e in result.fault_events
+            )
+            line = None if billing is None else billing[tenant]
             tenants.append(
                 {
                     "name": tenant,
@@ -385,21 +451,43 @@ class ClusterResult:
                     "ttft_p95_s": json_float(result.ttft.p95_s),
                     "meets_slo": self.meets_slo(tenant),
                     "pod_seconds": result.pod_seconds,
-                    "cost": None if cost is None else cost[tenant],
+                    "cloud_pod_seconds": result.cloud_pod_seconds,
+                    "cost": None if line is None else line["total"],
+                    "billing": line,
                     "recovery_time_s": json_float(
                         self.recovery_time_s(tenant, window_s)
-                    ),
+                    )
+                    if measurable
+                    else None,
                     "degraded_slo_attainment": json_float(
                         self.degraded_slo_attainment(tenant, window_s)
-                    ),
+                    )
+                    if measurable
+                    else None,
                 }
             )
+        cloud = None
+        if self.cloud_catalog is not None:
+            cloud = {
+                "modes": dict(self.cloud_modes),
+                "usage_events": len(self.cloud_events),
+                "cloud_pod_seconds_total": sum(
+                    r.cloud_pod_seconds for r in self.results.values()
+                ),
+                "quota_gpus": {
+                    gpu: self.cloud_catalog.quota_gpus(gpu)
+                    for gpu in sorted(self.cloud_catalog.instances)
+                },
+            }
         return {
             "kind": self.kind,
             "duration_s": self.duration_s,
             "capacity": dict(self.capacity),
-            "total_cost": None if cost is None else sum(cost.values()),
+            "total_cost": None
+            if billing is None
+            else sum(line["total"] for line in billing.values()),
             "peak_occupancy": self.peak_occupancy(),
+            "cloud": cloud,
             "tenants": tenants,
             "contended_scale_events": [
                 {
@@ -428,16 +516,21 @@ class ClusterResult:
         faults = self.fault_events()
         if faults:
             line += f", {len(faults)} fault events"
+        cloud_ps = sum(r.cloud_pod_seconds for r in self.results.values())
+        if cloud_ps > 0:
+            line += f", {cloud_ps:.0f} cloud pod-seconds burst"
         return line
 
     def verify_conservation(self) -> None:
         """Raise if any tenant leaked requests or the ledger went wrong.
 
         Checks, in order: per-tenant request conservation (arrivals ==
-        admitted + shed == completed + in-flight + shed), the ledger
-        replay (occupancy never negative and never above capacity at any
-        event, in causal order), and that each tenant's net allocated
-        GPUs equal what its still-provisioned pods occupy at the end.
+        admitted + shed == completed + in-flight + shed), the on-prem
+        ledger replay (occupancy never negative and never above capacity
+        at any event, in causal order), the cloud ledger replay (rented
+        GPUs never negative and never above the catalog's account quota),
+        and that each tenant's net allocated GPUs — on-prem plus rented —
+        equal what its still-provisioned pods occupy at the end.
         """
         for result in self.results.values():
             result.verify_conservation()
@@ -455,6 +548,23 @@ class ClusterResult:
                     f"{running[event.gpu]} > capacity "
                     f"{self.capacity.get(event.gpu, 0)} at t={event.time_s}"
                 )
+            net[event.tenant] = net.get(event.tenant, 0) + event.delta
+        rented: dict[str, int] = {}
+        for event in self.cloud_events:
+            rented[event.gpu] = rented.get(event.gpu, 0) + event.delta
+            if rented[event.gpu] < 0:
+                raise ValueError(
+                    f"cloud ledger leak: {event.gpu} below zero at "
+                    f"t={event.time_s}"
+                )
+            if self.cloud_catalog is not None:
+                quota = self.cloud_catalog.quota_gpus(event.gpu)
+                if quota is not None and rented[event.gpu] > quota:
+                    raise ValueError(
+                        f"cloud quota exceeded: {event.gpu} at "
+                        f"{rented[event.gpu]} > quota {quota} at "
+                        f"t={event.time_s}"
+                    )
             net[event.tenant] = net.get(event.tenant, 0) + event.delta
         for tenant in self.tenants:
             per_pod = parse_profile(self.profiles[tenant]).count
@@ -483,14 +593,31 @@ class ClusterSimulator:
         tenants: list[TenantGroup],
         inventory: ClusterInventory,
         fast: bool = True,
+        cloud: CloudLedger | None = None,
+        burst: BurstPolicy | dict[str, BurstPolicy] | None = None,
     ) -> None:
         if not tenants:
             raise ValueError("ClusterSimulator needs at least one tenant")
         names = [t.name for t in tenants]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate tenant names: {names}")
+        if burst is not None and cloud is None:
+            raise ValueError("a burst policy needs a cloud ledger to rent from")
         self.tenants = list(tenants)
         self.inventory = inventory
+        # Cloud-burst tier (simulation.cloud): ``cloud`` is the rented
+        # capacity ledger, ``burst`` the cluster-wide policy (or a
+        # per-tenant mapping; unmapped tenants never burst). Without
+        # them the simulator is the pure on-prem machine it always was.
+        self.cloud = cloud
+        if isinstance(burst, BurstPolicy):
+            self._burst = {name: burst for name in names}
+        else:
+            self._burst = dict(burst or {})
+        unknown = set(self._burst) - set(names)
+        if unknown:
+            raise ValueError(f"burst policies for unknown tenants: {sorted(unknown)}")
+        self._spot_wired = False
         # Fast cluster loop: a ClusterFrontier replaces the per-event
         # O(tenants) scans. Bit-identical by construction (see
         # simulation.frontier); the oracle scan loop stays selectable
@@ -499,10 +626,49 @@ class ClusterSimulator:
         self.fast = bool(fast)
 
     def _bind(self, group: TenantGroup) -> None:
-        """Subject one tenant's elasticity to the shared ledger."""
+        """Subject one tenant's elasticity to the shared ledger(s).
+
+        Both cluster loops (fast and oracle) reach capacity only through
+        these closures, so the burst decision is bit-identical across
+        them by construction: on-prem fills first, and only the
+        shortfall of a denied/clipped scale-up is offered to the cloud
+        tier under the tenant's burst policy. A scale-up fully covered
+        by bursting records no ``denied``/``clipped`` constraint — the
+        tenant got every pod it asked for, just not for free.
+        """
+        policy = self._burst.get(group.name)
+        profile = parse_profile(group.profile)
 
         def acquire(want: int, t: float) -> int:
             grant = min(want, self.inventory.fillable_pods(group.profile))
+            burst = 0
+            shortfall = want - grant
+            if (
+                shortfall > 0
+                and policy is not None
+                and self.cloud.catalog.offers(profile.gpu.name)
+            ):
+                price = self.cloud.catalog.pod_cost(profile, policy.mode)
+                ask = policy.burst_pods(
+                    shortfall, self.cloud.held_pods(group.name), price
+                )
+                burst = min(ask, self.cloud.fillable_pods(group.profile))
+                if burst > 0:
+                    # Serials are assigned sequentially after this grant
+                    # returns: the first ``grant`` new pods sit on-prem,
+                    # the last ``burst`` are rented (and, having the
+                    # highest serials, are first in line for
+                    # newest-first scale-down — rented capacity is
+                    # returned before owned capacity idles).
+                    start = group.fleet.next_serial + grant
+                    group.fleet.mark_cloud(range(start, start + burst))
+                    self.cloud.allocate(
+                        group.profile,
+                        burst,
+                        tenant=group.name,
+                        time_s=t,
+                        mode=policy.mode,
+                    )
             if grant > 0:
                 self.inventory.allocate(
                     group.profile,
@@ -511,18 +677,77 @@ class ClusterSimulator:
                     time_s=t,
                     reason="scale-up",
                 )
-            return grant
+            return grant + burst
 
-        def release(pods: int, t: float) -> None:
-            self.inventory.release(
-                group.profile,
-                pods,
-                tenant=group.name,
-                time_s=t,
-                reason="scale-down",
-            )
+        def release(
+            pods: int,
+            t: float,
+            serials: list[int] | None = None,
+            reason: str = "scale-down",
+        ) -> None:
+            cloud_pods = 0
+            if serials is not None and group.fleet.cloud_serials:
+                cloud_pods = sum(
+                    1 for s in serials if s in group.fleet.cloud_serials
+                )
+            if cloud_pods:
+                self.cloud.release(
+                    group.profile,
+                    cloud_pods,
+                    tenant=group.name,
+                    time_s=t,
+                    mode=policy.mode if policy is not None else "on-demand",
+                    reason=reason if reason == "spot-preempt" else "scale-down",
+                )
+            if pods - cloud_pods:
+                self.inventory.release(
+                    group.profile,
+                    pods - cloud_pods,
+                    tenant=group.name,
+                    time_s=t,
+                    reason="scale-down",
+                )
 
         group.fleet.bind_capacity(acquire, release)
+
+    def _wire_spot_preemptions(self, t_end: float) -> None:
+        """Merge seeded spot-preemption schedules into spot tenants' faults.
+
+        One independent Poisson stream per tenant bursting in ``spot``
+        mode, derived from the cloud ledger's seed and the tenant name,
+        at the catalog's per-type interruption rate. The schedule flows
+        through the ordinary fault-injection path (victims resolve to
+        cloud pods at fire time), so fast and oracle runs — which share
+        the seed — see the identical schedule. Idempotent across
+        repeated ``run`` calls on one simulator.
+        """
+        if self._spot_wired or self.cloud is None:
+            return
+        self._spot_wired = True
+        for group in self.tenants:
+            policy = self._burst.get(group.name)
+            if policy is None or policy.mode != "spot":
+                continue
+            profile = parse_profile(group.profile)
+            if not self.cloud.catalog.offers(profile.gpu.name):
+                continue
+            rate = self.cloud.catalog.spot_interruptions_per_hour(
+                profile.gpu.name
+            )
+            specs = spot_preemption_specs(
+                rate, t_end, self.cloud.seed, group.name
+            )
+            if not specs:
+                continue
+            injector = group.fleet.faults
+            if injector is None:
+                group.fleet.faults = FaultInjector(
+                    specs, seed=self.cloud.seed
+                )
+            else:
+                group.fleet.faults = FaultInjector(
+                    injector.specs + specs, seed=injector.seed
+                )
 
     def run(
         self,
@@ -570,6 +795,7 @@ class ClusterSimulator:
                     f"fit the inventory: {exc}"
                 ) from exc
             granted.append(group)
+        self._wire_spot_preemptions(t_end)
         for group in self.tenants:
             self._bind(group)
             group.fleet.begin(duration_s, warmup_s)
@@ -601,6 +827,11 @@ class ClusterSimulator:
             base_used=base_used,
             sim_events=sim_events,
             wall_time_s=wall_time_s,
+            cloud_events=[] if self.cloud is None else list(self.cloud.events),
+            cloud_catalog=None if self.cloud is None else self.cloud.catalog,
+            cloud_modes={
+                name: policy.mode for name, policy in self._burst.items()
+            },
         )
 
     def _run_oracle(self, t_end: float) -> None:

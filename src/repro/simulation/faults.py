@@ -38,8 +38,11 @@ from repro.utils.rng import derive_rng
 
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultEvent", "FaultInjector"]
 
-#: The fault kinds a spec may declare.
-FAULT_KINDS = ("crash", "slowdown", "zone-outage")
+#: The fault kinds a spec may declare. ``spot-preempt`` is the cloud
+#: tier's reclamation event: it crashes a pod like ``crash`` does, but
+#: only cloud-burst pods are eligible victims and the instance is
+#: reclaimed by the provider, so no in-place restart is possible.
+FAULT_KINDS = ("crash", "slowdown", "zone-outage", "spot-preempt")
 
 #: What happens to a crashed pod's in-flight requests.
 FAULT_MODES = ("requeue", "lose")
@@ -88,6 +91,17 @@ class FaultSpec:
             raise ValueError("a zone-outage fault needs a zone")
         if self.kind == "crash" and self.zone is not None:
             raise ValueError("a whole-zone crash is kind 'zone-outage'")
+        if self.kind == "spot-preempt":
+            if self.zone is not None:
+                raise ValueError(
+                    "spot preemption targets cloud pods, not zones"
+                )
+            if self.restart_delay_s is not None:
+                raise ValueError(
+                    "a preempted spot instance is reclaimed by the provider; "
+                    "restart_delay_s does not apply (the autoscaler re-bursts "
+                    "through the capacity ledger instead)"
+                )
         if self.kind == "slowdown":
             if self.duration_s is None or self.duration_s <= 0:
                 raise ValueError(
@@ -124,7 +138,7 @@ class FaultEvent:
     """
 
     time_s: float
-    kind: str  # crash | zone-outage | slowdown-start | slowdown-end
+    kind: str  # crash | zone-outage | spot-preempt | slowdown-start | slowdown-end
     pod: int | None = None
     zone: str | None = None
     requeued: int = 0
@@ -135,7 +149,12 @@ class FaultEvent:
     @property
     def disruptive(self) -> bool:
         """Did this event degrade service (recovery is measured from it)?"""
-        return self.kind in ("crash", "zone-outage", "slowdown-start")
+        return self.kind in (
+            "crash",
+            "zone-outage",
+            "spot-preempt",
+            "slowdown-start",
+        )
 
 
 class FaultInjector:

@@ -32,7 +32,7 @@ from __future__ import annotations
 import heapq
 import time as _time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, ClassVar
+from typing import TYPE_CHECKING, Callable, ClassVar, Iterable
 
 import numpy as np
 
@@ -332,10 +332,16 @@ class FleetResult:
     lost: int = 0
     requeued: int = 0
     fault_events: list[FaultEvent] = field(default_factory=list, repr=False)
+    cloud_pod_seconds: float = 0.0
 
     @property
     def pod_hours(self) -> float:
         return self.pod_seconds / 3600.0
+
+    @property
+    def on_prem_pod_seconds(self) -> float:
+        """Pod-seconds billed on owned hardware (total minus cloud-burst)."""
+        return max(0.0, self.pod_seconds - self.cloud_pod_seconds)
 
     @property
     def events_per_second(self) -> float:
@@ -398,6 +404,11 @@ class FleetResult:
         disruptive = [e for e in self.fault_events if e.disruptive]
         if not disruptive:
             return None
+        if self.metrics is None:
+            raise ValueError(
+                "recovery_time_s needs per-request samples but this run "
+                "dropped them; re-run with keep_samples=True"
+            )
         starts, tails = self.ttft_p95_series(window_s)
         worst = 0.0
         for event in disruptive:
@@ -422,6 +433,11 @@ class FleetResult:
         disruptive = [e for e in self.fault_events if e.disruptive]
         if not disruptive:
             return None
+        if self.metrics is None:
+            raise ValueError(
+                "degraded_slo_attainment needs per-request samples but this "
+                "run dropped them; re-run with keep_samples=True"
+            )
         first_fault = min(e.time_s for e in disruptive)
         starts, tails = self.ttft_p95_series(window_s)
         overlapping = starts + window_s > first_fault
@@ -474,6 +490,7 @@ class FleetResult:
             "tokens_generated": self.tokens_generated,
             "throughput_tokens_per_s": json_float(self.throughput_tokens_per_s),
             "pod_seconds": self.pod_seconds,
+            "cloud_pod_seconds": self.cloud_pod_seconds,
             "ttft": latency_dict(self.ttft),
             "itl": latency_dict(self.itl),
             "e2e": latency_dict(self.e2e),
@@ -581,6 +598,12 @@ class FleetSimulator:
         self._pending: list = []
         self._pod_seconds = 0.0
         self._billed_to = 0.0
+        # Cloud-burst tier (simulation.cloud): serials whose capacity was
+        # rented rather than owned. Billed separately so mixed bills can
+        # price the tiers apart; empty for every non-bursting fleet, in
+        # which case no cloud accounting runs at all.
+        self.cloud_serials: set[int] = set()
+        self._cloud_pod_seconds = 0.0
         self._window_arrivals: dict[int, int] = {}
         self._arrival_window_s = (
             autoscaler.config.metrics_window_s if autoscaler else 10.0
@@ -589,7 +612,7 @@ class FleetSimulator:
         # clip or deny scale-ups and reclaim GPUs on retirement. Unbound
         # (the standalone case) every ask is granted in full.
         self._acquire: Callable[[int, float], int] | None = None
-        self._release: Callable[[int, float], None] | None = None
+        self._release: Callable[..., None] | None = None
         self._warmed_up = True
         self._warmup_s = 0.0
         self._next_decision = float("inf")
@@ -618,18 +641,37 @@ class FleetSimulator:
     def bind_capacity(
         self,
         acquire: Callable[[int, float], int],
-        release: Callable[[int, float], None],
+        release: Callable[..., None],
     ) -> None:
         """Subject this fleet's elasticity to a finite resource ledger.
 
         ``acquire(n, t)`` is consulted before provisioning ``n`` extra
         pods at virtual time ``t`` and returns how many were granted
-        (0..n); ``release(n, t)`` hands capacity back when pods retire or
-        a cold start is cancelled. Used by the cluster co-simulation to
-        make tenants contend for one :class:`ClusterInventory`.
+        (0..n); ``release(n, t, serials)`` hands capacity back when pods
+        retire or a cold start is cancelled, with the serials of the
+        released pods so a ledger that tracks tiers (on-prem vs
+        cloud-burst, see :mod:`repro.simulation.cloud`) can credit the
+        right one. Used by the cluster co-simulation to make tenants
+        contend for one :class:`ClusterInventory`.
         """
         self._acquire = acquire
         self._release = release
+
+    @property
+    def next_serial(self) -> int:
+        """The serial the next provisioned pod will get.
+
+        Pod serials are assigned sequentially in provisioning order, so
+        a capacity ledger that grants a scale-up synchronously (inside
+        ``acquire``) can pre-attribute the about-to-be-minted serials —
+        the cloud tier marks the last ``burst`` of them as rented via
+        :meth:`mark_cloud`.
+        """
+        return len(self._all_pods)
+
+    def mark_cloud(self, serials: Iterable[int]) -> None:
+        """Record these pod serials as cloud-burst (rented) capacity."""
+        self.cloud_serials.update(int(s) for s in serials)
 
     @property
     def all_pods(self) -> list["ContinuousBatchingEngine"]:
@@ -1009,11 +1051,17 @@ class FleetSimulator:
         Explicit ``pod`` targets apply only while that pod is in service
         (a crashed or retired pod cannot crash again); ``zone`` targets
         hit every in-service pod in the zone; untargeted specs draw one
-        seeded-random victim from the injector's stream.
+        seeded-random victim from the injector's stream. A
+        ``spot-preempt`` spec resolves only among cloud-burst pods —
+        the provider reclaims rented capacity, never owned hardware —
+        including rented pods already draining (a spot reclaim does not
+        wait for a graceful scale-down to finish).
         """
         serials = sorted(
             self._routable | {self._serials[id(pod)] for pod in self._draining}
         )
+        if spec.kind == "spot-preempt":
+            serials = [s for s in serials if s in self.cloud_serials]
         if spec.pod is not None:
             return [spec.pod] if spec.pod in serials else []
         if spec.zone is not None:
@@ -1043,18 +1091,18 @@ class FleetSimulator:
         # a restart window just pushes their ready time out.
         if spec.zone is not None and self._starting:
             keep: list[tuple[float, int, "ContinuousBatchingEngine"]] = []
-            cancelled = 0
+            cancelled: list[int] = []
             for ready, serial, pod in self._starting:
                 if self.pod_zone(serial) != spec.zone:
                     keep.append((ready, serial, pod))
                 elif restart is None:
-                    cancelled += 1
+                    cancelled.append(serial)
                 else:
                     keep.append((max(ready, t + restart), serial, pod))
             if len(keep) != len(self._starting) or restart is not None:
                 self._starting = sorted(keep, key=lambda e: (e[0], e[1]))
             if cancelled and self._release is not None:
-                self._release(cancelled, t)
+                self._release(len(cancelled), t, cancelled)
         crashed = 0
         for serial in self._fault_serials(spec):
             pod = self._all_pods[serial]
@@ -1092,8 +1140,12 @@ class FleetSimulator:
                 self.routed_counts.append(0)
                 self._zone_overrides[new_serial] = self.pod_zone(serial)
                 self._starting.append((restart_s, new_serial, replacement))
+                if serial in self.cloud_serials:
+                    # An in-place restart keeps the held capacity, so the
+                    # replacement occupies the same rented instance.
+                    self.cloud_serials.add(new_serial)
             elif self._release is not None:
-                self._release(1, t)
+                self._release(1, t, [serial], kind)
             self.fault_events.append(
                 FaultEvent(
                     time_s=t,
@@ -1150,10 +1202,28 @@ class FleetSimulator:
     # ---- elasticity -------------------------------------------------------
 
     def _bill(self, now: float) -> None:
-        """Accrue pod-seconds for the provisioned fleet up to ``now``."""
+        """Accrue pod-seconds for the provisioned fleet up to ``now``.
+
+        Cloud-burst pods accrue a second, separate meter so mixed bills
+        can price the rented tier apart from owned hardware; a fleet
+        that never burst skips that accounting entirely.
+        """
         if now > self._billed_to:
-            self._pod_seconds += (now - self._billed_to) * self.provisioned
+            dt = now - self._billed_to
+            self._pod_seconds += dt * self.provisioned
+            if self.cloud_serials:
+                self._cloud_pod_seconds += dt * self._provisioned_cloud()
             self._billed_to = now
+
+    def _provisioned_cloud(self) -> int:
+        """Cloud-burst pods currently billed (serving, starting, draining)."""
+        cloud = self.cloud_serials
+        count = sum(1 for serial in self._routable if serial in cloud)
+        count += sum(1 for _, serial, _ in self._starting if serial in cloud)
+        count += sum(
+            1 for pod in self._draining if self._serials[id(pod)] in cloud
+        )
+        return count
 
     def _activate_ready(self, now: float) -> None:
         """Move cold-started pods whose ready time has passed into service."""
@@ -1173,7 +1243,7 @@ class FleetSimulator:
     def _retire_drained(self, now: float) -> None:
         """Retire draining pods that have finished their residual work."""
         still = []
-        retired = 0
+        retired: list[int] = []
         for pod in self._draining:
             if pod.has_work():
                 still.append(pod)
@@ -1181,14 +1251,17 @@ class FleetSimulator:
                 # The pod actually went idle at its own clock, which can
                 # precede the frontier we detect it at: bill to the
                 # frontier, then refund the idle tail.
+                serial = self._serials[id(pod)]
                 self._bill(now)
                 self._pod_seconds -= max(0.0, now - pod.time)
-                retired += 1
+                if serial in self.cloud_serials:
+                    self._cloud_pod_seconds -= max(0.0, now - pod.time)
+                retired.append(serial)
         self._draining = still
         if retired and self.fast:
             self._frontier.rebuild(self._in_service())
         if retired and self._release is not None:
-            self._release(retired, now)
+            self._release(len(retired), now, retired)
 
     def _autoscale_tick(self, t: float) -> None:
         """One decision boundary: observe, decide, resize."""
@@ -1234,13 +1307,13 @@ class FleetSimulator:
             # the routable set, the earliest cold start is the only
             # path back to service. (Fault-free, pods is never empty,
             # so this guard cannot bind.)
-            cancelled = 0
+            cancelled: list[int] = []
             while delta and self._starting and len(self.pods) + len(self._starting) > 1:
-                self._starting.pop()
-                cancelled += 1
+                _, serial, _ = self._starting.pop()
+                cancelled.append(serial)
                 delta -= 1
             if cancelled and self._release is not None:
-                self._release(cancelled, t)
+                self._release(len(cancelled), t, cancelled)
             # ...then drain serving pods, lightest committed load first,
             # newest first on ties; never drain the last routable pod.
             # (Draining pods keep their GPUs until they retire.)
@@ -1361,6 +1434,7 @@ class FleetSimulator:
             tokens_generated=tokens,
             throughput_tokens_per_s=tokens / elapsed,
             pod_seconds=self._pod_seconds,
+            cloud_pod_seconds=self._cloud_pod_seconds,
             sim_events=self._events,
             wall_time_s=_time.perf_counter() - self._wall_start,
             scale_events=list(self.scale_events),

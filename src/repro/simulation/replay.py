@@ -176,14 +176,24 @@ class ArrivalLog:
             raise ValueError(f"rate_per_s must be positive, got {rate_per_s}")
         current = self.mean_rate_per_s
         if not np.isfinite(current) or current <= 0:
-            raise ValueError("cannot rescale a log with fewer than 2 arrivals")
+            raise ValueError(
+                "cannot rescale a log whose mean arrival rate is not a "
+                f"positive finite number: {len(self)} arrival(s) spanning "
+                f"{self.duration_s:g}s give a mean rate of {current:g}/s"
+            )
         return self.warp(rate_per_s / current)
 
     def clip(self, horizon_s: float) -> "ArrivalLog":
-        """Keep only the arrivals in the first ``horizon_s`` seconds."""
+        """Keep only the arrivals in the first ``horizon_s`` seconds.
+
+        The window is half-open — ``[0, horizon_s)`` — to match the
+        simulation horizon, so an arrival stamped exactly at the horizon
+        belongs to the *next* window and is dropped, never replayed
+        twice by clip-then-replay flows.
+        """
         if horizon_s <= 0:
             raise ValueError(f"horizon_s must be positive, got {horizon_s}")
-        return self.select(self.times_s <= horizon_s)
+        return self.select(self.times_s < horizon_s)
 
     def bootstrap(
         self,

@@ -31,8 +31,10 @@ GPU ``capacity`` map) turns the spec into a multi-tenant cluster
 co-simulation; tenant entries inherit the top-level fields they do not
 override. A ``faults`` section (``seed`` / ``zones`` / ``events``)
 injects deterministic pod crashes, transient slowdowns and zone
-outages into the run. See ``docs/scenarios.md`` for the full
-reference.
+outages into the run. A cluster scenario may add a ``cloud`` section
+(mode / quota / catalog / burst caps) to let denied scale-ups burst to
+an elastic, priced cloud tier with seeded spot preemptions. See
+``docs/scenarios.md`` for the full reference.
 """
 
 from __future__ import annotations
@@ -72,7 +74,7 @@ __all__ = ["ScenarioSpec", "load_scenario"]
 _TOP_KEYS = set(
     "name seed duration_s warmup_s llm profile pods max_batch_weight "
     "workload traffic router admission autoscaler slo_ttft_ms tenants "
-    "capacity faults".split()
+    "capacity faults cloud".split()
 )
 _TENANT_KEYS = set(
     "name llm profile pods max_batch_weight traffic router admission "
@@ -99,7 +101,15 @@ _FAULT_EVENT_KEYS = {
     "crash": {"time_s", "pod", "mode", "restart_delay_s"},
     "slowdown": {"time_s", "pod", "zone", "duration_s", "factor"},
     "zone-outage": {"time_s", "zone", "mode", "restart_delay_s"},
+    "spot-preempt": {"time_s", "pod", "mode"},
 }
+_CLOUD_KEYS = set(
+    "mode max_cloud_pods price_cap_per_pod_hour quota "
+    "spot_interruptions_per_hour seed catalog".split()
+)
+_CLOUD_CATALOG_KEYS = set(
+    "on_demand spot reserved quota_gpus spot_interruptions_per_hour".split()
+)
 
 
 def _check_keys(mapping: dict, allowed: set[str], where: str) -> None:
@@ -159,6 +169,7 @@ class ScenarioSpec:
     faults: dict | None = None
     tenants: list[dict] = field(default_factory=list)
     capacity: dict[str, int] = field(default_factory=dict)
+    cloud: dict | None = None
 
     # ---- construction -----------------------------------------------------
 
@@ -188,6 +199,7 @@ class ScenarioSpec:
             faults=spec.get("faults"),
             tenants=[dict(t) for t in spec.get("tenants") or []],
             capacity={str(k): int(v) for k, v in (spec.get("capacity") or {}).items()},
+            cloud=spec.get("cloud"),
         )
         out._validate()
         return out
@@ -243,6 +255,12 @@ class ScenarioSpec:
         require(self.pods >= 1, f"pods must be >= 1, got {self.pods}")
         check(_check_keys, self.workload, _WORKLOAD_KEYS, "workload")
         check(self._validate_faults, self.faults, "scenario faults")
+        check(self._validate_cloud)
+        if self.cloud is not None and not self.tenants:
+            errors.append(
+                "a cloud section needs tenants: bursting is a cluster "
+                "decision (single fleets use HybridCapacity directly)"
+            )
         if self.tenants:
             require(
                 bool(self.capacity),
@@ -369,6 +387,119 @@ class ScenarioSpec:
                 _fault_spec(event)
             except ValueError as exc:
                 raise ValueError(f"{label}: {exc}") from exc
+
+    def _validate_cloud(self) -> None:
+        from repro.hardware.pricing import CLOUD_PRICING_MODES
+
+        section = self.cloud
+        if section is None:
+            return
+        if not isinstance(section, dict):
+            raise ValueError(f"cloud must be a mapping, got {type(section)}")
+        _check_keys(section, _CLOUD_KEYS, "cloud")
+        mode = section.get("mode", "on-demand")
+        if mode not in CLOUD_PRICING_MODES:
+            raise ValueError(
+                f"unknown cloud mode {mode!r}; "
+                f"known: {sorted(CLOUD_PRICING_MODES)}"
+            )
+        if int(section.get("max_cloud_pods", 0)) < 0:
+            raise ValueError(
+                f"cloud max_cloud_pods must be >= 0, "
+                f"got {section['max_cloud_pods']}"
+            )
+        if float(section.get("price_cap_per_pod_hour", 0.0)) < 0:
+            raise ValueError(
+                f"cloud price_cap_per_pod_hour must be >= 0, "
+                f"got {section['price_cap_per_pod_hour']}"
+            )
+        quota = section.get("quota") or {}
+        if not isinstance(quota, dict):
+            raise ValueError(f"cloud quota must be a mapping, got {type(quota)}")
+        for gpu, cap in quota.items():
+            if int(cap) < 0:
+                raise ValueError(f"cloud quota for {gpu} must be >= 0, got {cap}")
+        catalog = section.get("catalog")
+        if catalog is not None:
+            if not isinstance(catalog, dict) or not catalog:
+                raise ValueError("cloud catalog must be a non-empty mapping")
+            for gpu, entry in catalog.items():
+                if not isinstance(entry, dict):
+                    raise ValueError(
+                        f"cloud catalog entry for {gpu} must be a mapping"
+                    )
+                _check_keys(entry, _CLOUD_CATALOG_KEYS, f"cloud catalog[{gpu}]")
+                for mode_key in ("on_demand", "spot", "reserved"):
+                    if mode_key not in entry:
+                        raise ValueError(
+                            f"cloud catalog[{gpu}] needs a {mode_key} price"
+                        )
+
+    def build_cloud(self) -> "tuple | None":
+        """The (CloudLedger, BurstPolicy) pair of the ``cloud`` section.
+
+        None when the scenario declares no cloud tier. The catalog is
+        the AWS-like default unless the section supplies its own; the
+        ``quota`` mapping overlays account GPU caps either way, and the
+        ledger's seed (spot-preemption schedules) defaults to the
+        scenario seed.
+        """
+        from repro.hardware.pricing import (
+            CloudCatalog,
+            CloudInstanceType,
+            aws_like_cloud_catalog,
+        )
+        from repro.simulation.cloud import BurstPolicy, CloudLedger
+
+        if self.cloud is None:
+            return None
+        section = self.cloud
+        quota = {
+            str(gpu): int(cap) for gpu, cap in (section.get("quota") or {}).items()
+        }
+        rate = section.get("spot_interruptions_per_hour")
+        if section.get("catalog"):
+            instances = {}
+            for gpu, entry in section["catalog"].items():
+                entry_rate = entry.get(
+                    "spot_interruptions_per_hour",
+                    0.0 if rate is None else float(rate),
+                )
+                instances[str(gpu)] = CloudInstanceType(
+                    gpu=str(gpu),
+                    on_demand=float(entry["on_demand"]),
+                    spot=float(entry["spot"]),
+                    reserved=float(entry["reserved"]),
+                    quota_gpus=quota.get(
+                        str(gpu), entry.get("quota_gpus")
+                    ),
+                    spot_interruptions_per_hour=float(entry_rate),
+                )
+            catalog = CloudCatalog(instances=instances)
+        else:
+            catalog = aws_like_cloud_catalog(
+                quota_gpus=quota,
+                spot_interruptions_per_hour=(
+                    0.05 if rate is None else float(rate)
+                ),
+            )
+        policy = BurstPolicy(
+            mode=str(section.get("mode", "on-demand")),
+            max_cloud_pods=(
+                None
+                if section.get("max_cloud_pods") is None
+                else int(section["max_cloud_pods"])
+            ),
+            price_cap_per_pod_hour=(
+                None
+                if section.get("price_cap_per_pod_hour") is None
+                else float(section["price_cap_per_pod_hour"])
+            ),
+        )
+        ledger = CloudLedger(
+            catalog=catalog, seed=int(section.get("seed", self.seed))
+        )
+        return ledger, policy
 
     @property
     def is_cluster(self) -> bool:
@@ -643,7 +774,13 @@ class ScenarioSpec:
                     faults=self._build_faults(fault_section, tenant["name"]),
                 )
             )
-        return ClusterSimulator(groups, ClusterInventory(capacity=dict(self.capacity)))
+        cloud = self.build_cloud()
+        return ClusterSimulator(
+            groups,
+            ClusterInventory(capacity=dict(self.capacity)),
+            cloud=None if cloud is None else cloud[0],
+            burst=None if cloud is None else cloud[1],
+        )
 
     def run(self, keep_samples: bool = False) -> "FleetResult | ClusterResult":
         """Build and run the scenario; conservation-checked result.

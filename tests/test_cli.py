@@ -301,10 +301,11 @@ class TestClusterSimCommand:
         data = json.loads(capsys.readouterr().out)
         assert set(data) == {
             "kind", "duration_s", "capacity", "total_cost", "peak_occupancy",
-            "tenants", "contended_scale_events", "fault_events",
+            "cloud", "tenants", "contended_scale_events", "fault_events",
         }
         assert data["kind"] == "cluster"
         assert data["capacity"] == {"A100-80GB": 3}
+        assert data["cloud"] is None
         assert data["fault_events"] == []
         assert [t["name"] for t in data["tenants"]] == ["chat", "code"]
         for tenant in data["tenants"]:

@@ -94,6 +94,14 @@ class TestFaultSpec:
         with pytest.raises(ValueError, match="slowdown"):
             FaultSpec(kind="crash", time_s=1.0, duration_s=5.0)
 
+    def test_spot_preempt_rejects_zone_targeting(self):
+        with pytest.raises(ValueError, match="cloud pods, not zones"):
+            FaultSpec(kind="spot-preempt", time_s=5.0, zone="zone-0")
+
+    def test_spot_preempt_rejects_restart_delay(self):
+        with pytest.raises(ValueError, match="reclaimed by the provider"):
+            FaultSpec(kind="spot-preempt", time_s=5.0, restart_delay_s=3.0)
+
     def test_restart_delay_must_be_positive(self):
         with pytest.raises(ValueError, match="restart_delay_s"):
             FaultSpec(kind="crash", time_s=1.0, restart_delay_s=0.0)
@@ -272,6 +280,16 @@ class TestRecoveryMetrics:
         )
         with pytest.raises(ValueError, match="keep_samples"):
             res.recovery_time_s(slo_p95_ttft_s=1.0)
+
+    def test_degraded_attainment_needs_samples(self, generator):
+        # Silent None here would read as "no degraded windows" — the
+        # dropped-samples condition must name the fix instead.
+        faults = FaultInjector([FaultSpec(kind="crash", time_s=2.0)], seed=0)
+        res = _fleet(generator, faults=faults).run(
+            duration_s=15.0, keep_samples=False
+        )
+        with pytest.raises(ValueError, match="keep_samples=True"):
+            res.degraded_slo_attainment(slo_p95_ttft_s=1.0)
 
     def test_recovery_and_degraded_attainment(self, generator):
         faults = FaultInjector(

@@ -83,14 +83,31 @@ class TestArrivalLog:
     def test_warp_to_rate(self):
         log = make_log([0.0, 1.0, 2.0, 3.0])
         assert log.warp_to_rate(5.0).mean_rate_per_s == pytest.approx(5.0)
-        with pytest.raises(ValueError, match="fewer than 2"):
+
+    def test_warp_to_rate_error_names_the_real_condition(self):
+        # A single arrival has no rate...
+        with pytest.raises(ValueError, match="mean arrival rate.*1 arrival"):
             make_log([0.0]).warp_to_rate(1.0)
+        # ...and so does a log with many arrivals all at the same instant:
+        # the old message blamed "fewer than 2 arrivals", which is wrong
+        # here. The error must report the computed rate and the span.
+        with pytest.raises(ValueError, match=r"3 arrival\(s\) spanning 0s"):
+            make_log([0.0, 0.0, 0.0]).warp_to_rate(1.0)
 
     def test_clip_keeps_horizon(self):
         log = make_log([0.0, 1.0, 5.0, 9.0])
-        assert len(log.clip(5.0)) == 3
+        assert len(log.clip(6.0)) == 3
         with pytest.raises(ValueError, match="positive"):
             log.clip(-1.0)
+
+    def test_clip_is_half_open_at_the_horizon(self):
+        # The simulation horizon is [0, horizon): an arrival stamped
+        # exactly at the horizon belongs to the next window. Keeping it
+        # would double-count it in clip-then-replay flows.
+        log = make_log([0.0, 1.0, 5.0, 9.0])
+        clipped = log.clip(5.0)
+        assert len(clipped) == 2
+        np.testing.assert_allclose(clipped.times_s, [0.0, 1.0])
 
     def test_for_tenant_filters_and_rebases(self):
         log = make_log(

@@ -368,6 +368,96 @@ class TestBuildAndRun:
         assert res.results["batch"].arrivals == len(REPLAY_ARRIVALS)
 
 
+class TestCloudSection:
+    def test_cloud_needs_tenants(self):
+        with pytest.raises(ValueError, match="a cloud section needs tenants"):
+            ScenarioSpec.from_dict(fleet_spec(cloud={"mode": "spot"}))
+
+    def test_rejects_unknown_cloud_key(self):
+        with pytest.raises(ValueError, match="unknown key.*cloud.*modez"):
+            ScenarioSpec.from_dict(cluster_spec(cloud={"modez": "spot"}))
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown cloud mode"):
+            ScenarioSpec.from_dict(cluster_spec(cloud={"mode": "prepaid"}))
+
+    def test_rejects_negative_limits(self):
+        with pytest.raises(ValueError, match="max_cloud_pods must be >= 0"):
+            ScenarioSpec.from_dict(cluster_spec(cloud={"max_cloud_pods": -1}))
+        with pytest.raises(ValueError, match="quota for A10-24GB must be >= 0"):
+            ScenarioSpec.from_dict(
+                cluster_spec(cloud={"quota": {"A10-24GB": -2}})
+            )
+
+    def test_catalog_entry_needs_every_price(self):
+        with pytest.raises(
+            ValueError, match="cloud catalog\\[A10-24GB\\] needs a spot price"
+        ):
+            ScenarioSpec.from_dict(
+                cluster_spec(
+                    cloud={
+                        "catalog": {
+                            "A10-24GB": {"on_demand": 1.0, "reserved": 0.5}
+                        }
+                    }
+                )
+            )
+
+    def test_build_cloud_defaults(self):
+        spec = ScenarioSpec.from_dict(cluster_spec())
+        assert spec.build_cloud() is None
+
+    def test_build_cloud_applies_quota_and_mode(self):
+        spec = ScenarioSpec.from_dict(
+            cluster_spec(
+                cloud={
+                    "mode": "spot",
+                    "max_cloud_pods": 4,
+                    "quota": {"A10-24GB": 2},
+                    "seed": 7,
+                }
+            )
+        )
+        ledger, policy = spec.build_cloud()
+        assert policy.mode == "spot"
+        assert policy.max_cloud_pods == 4
+        assert ledger.seed == 7
+        assert ledger.available_gpus("A10-24GB") == 2
+
+    def test_custom_catalog_prices_win(self):
+        spec = ScenarioSpec.from_dict(
+            cluster_spec(
+                cloud={
+                    "catalog": {
+                        "A10-24GB": {
+                            "on_demand": 2.0, "spot": 0.0, "reserved": 1.0
+                        }
+                    }
+                }
+            )
+        )
+        ledger, _ = spec.build_cloud()
+        profile = ledger.catalog.instances["A10-24GB"]
+        assert profile.on_demand == 2.0
+        assert profile.spot == 0.0  # zero-price entries are legal
+
+    def test_run_cluster_with_cloud(self):
+        spec_dict = cluster_spec(
+            capacity={"A10-24GB": 2},
+            cloud={"mode": "on-demand", "max_cloud_pods": 2},
+        )
+        for tenant in spec_dict["tenants"]:
+            tenant["autoscaler"] = {"max_pods": 3}
+        res = ScenarioSpec.from_dict(spec_dict).run()
+        assert res.cloud_catalog is not None
+        # Identical spec, identical bill: the ledger seed comes from the
+        # scenario seed so repeated runs are deterministic.
+        again = ScenarioSpec.from_dict(spec_dict).run()
+        assert [e.__dict__ for e in res.cloud_events] == [
+            e.__dict__ for e in again.cloud_events
+        ]
+
+
 class TestLoad:
     def test_load_json(self, tmp_path):
         path = tmp_path / "scenario.json"
