@@ -23,6 +23,11 @@ Subcommands mirror the two roles the paper defines (§I):
     finite GPU inventory on one shared virtual clock — reports per-tenant
     outcomes, denied/clipped scale-ups and per-GPU-type occupancy;
     accepts ``--scenario FILE`` for declarative cluster specs;
+  - ``report``        render any ``--json`` result file — or a scenario
+    run live — into one self-contained HTML report (inline SVG charts,
+    no network references); ``simulate``, ``cluster-sim`` and ``report``
+    also take ``--scenario-name`` to run a curated scenario from the
+    repository's ``scenarios/`` library by name;
   - ``recommend-elastic``  autoscaler-in-the-loop sizing: sweep
     (policy, min_pods, max_pods) candidates under a traffic model, score
     each by pod-second bill + SLO penalty, and report the trade curve,
@@ -33,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import numpy as np
@@ -62,6 +68,7 @@ from repro.recommendation import (
 )
 from repro.cluster import Deployment
 from repro.recommendation.pilot import LLMPilotRecommender
+from repro.report import render_report
 from repro.simulation import (
     AUTOSCALE_POLICIES,
     ROUTERS,
@@ -86,6 +93,7 @@ from repro.simulation import (
     TargetUtilizationPolicy,
     TenantGroup,
     ThresholdPolicy,
+    scenario_path,
     to_json,
 )
 from repro.traces import TraceConfig, TraceDataset, TraceSynthesizer
@@ -141,6 +149,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario",
         help="declarative scenario spec (.json/.yaml); overrides other flags",
     )
+    p_sim.add_argument(
+        "--scenario-name",
+        metavar="NAME",
+        help="run a curated scenario from the repository's scenarios/ "
+        "library by name (see docs/scenarios.md)",
+    )
     _add_fleet_args(p_sim)
     _add_fault_args(p_sim)
     _add_json_arg(p_sim)
@@ -165,6 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="declarative cluster scenario spec (.json/.yaml); replaces "
         "--tenant/--capacity; repeatable — several scenarios run as a "
         "batch (see --jobs)",
+    )
+    p_cluster.add_argument(
+        "--scenario-name",
+        action="append",
+        dest="scenario_names",
+        metavar="NAME",
+        help="curated scenario from the scenarios/ library by name "
+        "(repeatable; appended to --scenario files as one batch)",
     )
     p_cluster.add_argument(
         "--jobs",
@@ -230,6 +252,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the cloud ledger's spot-preemption schedules",
     )
     _add_json_arg(p_cluster)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a simulation result to a self-contained HTML report",
+    )
+    p_report.add_argument(
+        "input",
+        nargs="?",
+        metavar="RESULT.json",
+        help="a JSON result file written by simulate/autoscale/cluster-sim "
+        "--json (omit to run a scenario live instead)",
+    )
+    p_report.add_argument(
+        "--scenario",
+        metavar="FILE",
+        help="run this scenario spec live and report its result",
+    )
+    p_report.add_argument(
+        "--scenario-name",
+        metavar="NAME",
+        help="run a curated scenario from the scenarios/ library by name",
+    )
+    p_report.add_argument(
+        "--out",
+        metavar="FILE.html",
+        help="output path (default: derived from the input file or "
+        "scenario name, in the working directory)",
+    )
+    p_report.add_argument("--title", help="report title (default: derived)")
 
     p_elastic = sub.add_parser(
         "recommend-elastic",
@@ -732,6 +783,12 @@ def _reject_faults_with_scenario(args) -> None:
 
 def _cmd_simulate(args) -> int:
     try:
+        if args.scenario_name:
+            if args.scenario:
+                raise ValueError(
+                    "--scenario and --scenario-name are mutually exclusive"
+                )
+            args.scenario = str(scenario_path(args.scenario_name))
         if args.scenario:
             # Building (spec parsing, unknown LLM/profile, missing log
             # files) is user input and belongs inside the error handler;
@@ -998,6 +1055,10 @@ def _cmd_cluster_sim(args) -> int:
     try:
         if args.jobs < 1:
             raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
+        if args.scenario_names:
+            args.scenarios = list(args.scenarios or []) + [
+                str(scenario_path(name)) for name in args.scenario_names
+            ]
         if args.scenarios:
             _reject_faults_with_scenario(args)
             if args.cloud:
@@ -1176,6 +1237,67 @@ def _render_cluster_sim(res, pricing) -> str:
     return "".join(line + "\n" for line in out)
 
 
+def _cmd_report(args) -> int:
+    """Render one result — replayed from ``--json`` output or run live
+    from a scenario — into a self-contained HTML file."""
+    try:
+        sources = [
+            s for s in (args.input, args.scenario, args.scenario_name) if s
+        ]
+        if len(sources) != 1:
+            raise ValueError(
+                "report needs exactly one input: a RESULT.json file, "
+                "--scenario FILE, or --scenario-name NAME"
+            )
+        spec = None
+        if args.input:
+            with open(args.input) as fh:
+                payload = json.load(fh)
+            if isinstance(payload, list):
+                raise ValueError(
+                    f"{args.input} holds a multi-scenario batch array; "
+                    "report renders one result — split the batch or "
+                    "re-run the scenario alone"
+                )
+            if not isinstance(payload, dict):
+                raise ValueError(
+                    f"{args.input} is not a simulation result payload"
+                )
+            stem = os.path.splitext(os.path.basename(args.input))[0]
+            # render inside the handler: an unknown "kind" in a
+            # hand-edited file is user input, not a simulator bug.
+            html = render_report(payload, title=args.title)
+        else:
+            path = (
+                str(scenario_path(args.scenario_name))
+                if args.scenario_name
+                else args.scenario
+            )
+            spec = ScenarioSpec.load(path)
+            stem = spec.name
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if spec is not None:
+        res = spec.run(keep_samples=True)
+        # A conservation violation is a simulator bug and should
+        # surface as a traceback, not "error:".
+        res.verify_conservation()
+        if res.kind == "cluster":
+            payload = res.to_dict(pricing=aws_like_pricing())
+        else:
+            slo_s = (
+                spec.slo_ttft_ms / 1e3 if spec.slo_ttft_ms is not None else None
+            )
+            payload = res.to_dict(slo_p95_ttft_s=slo_s)
+        html = render_report(payload, title=args.title)
+    out = args.out or f"{stem}-report.html"
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(html)
+    print(f"wrote {out}")
+    return 0
+
+
 def _cmd_recommend_elastic(args) -> int:
     traces = _load_or_make_traces(args)
     generator = WorkloadGenerator.fit(traces)
@@ -1313,6 +1435,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "autoscale": _cmd_autoscale,
     "cluster-sim": _cmd_cluster_sim,
+    "report": _cmd_report,
     "recommend-elastic": _cmd_recommend_elastic,
 }
 

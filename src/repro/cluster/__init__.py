@@ -2,8 +2,6 @@
 multi-tenant cluster scheduling and shared-clock multi-tenant
 co-simulation (the paper's declared next step)."""
 
-# Imported from their real home, not repro.cluster.balancer: that shim
-# now warns on import, and merely importing this package must not.
 from repro.simulation.traffic import split_users, round_robin_assignment
 from repro.cluster.deployment import Deployment, DeploymentLoadTestResult
 from repro.cluster.scheduler import (
@@ -41,3 +39,14 @@ __all__ = [
     "InventoryEvent",
     "TenantGroup",
 ]
+
+
+def __getattr__(name):
+    # The repro.cluster.balancer deprecation shim is retired; keep the
+    # old import path failing with a pointer instead of a bare miss.
+    if name == "balancer":
+        raise ModuleNotFoundError(
+            "repro.cluster.balancer was removed; import split_users and "
+            "round_robin_assignment from repro.simulation.traffic"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

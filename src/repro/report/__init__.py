@@ -1,0 +1,13 @@
+"""HTML run reports rendered from the uniform ``SimResult`` payloads.
+
+The package has a single entry point, :func:`render_report`, which
+accepts either a live result object or a parsed ``--json`` payload and
+returns one self-contained HTML document (inline SVG charts, inline
+CSS, no network references). See ``docs/cli.md`` for the ``report``
+subcommand built on top of it.
+"""
+
+from .charts import EventMark, Series, line_chart
+from .html import render_report
+
+__all__ = ["render_report", "line_chart", "Series", "EventMark"]

@@ -1,0 +1,222 @@
+"""Inline-SVG chart primitives for the HTML run reports.
+
+Hand-rolled on purpose: a report must open from a ``file://`` URL on an
+air-gapped machine, so there is no plotting library, no web font, no
+script tag and no external reference of any kind — every chart is a
+small inline ``<svg>`` styled through the CSS custom properties the
+report's ``<style>`` block defines (which is also what makes the dark
+variant a *selected* palette step, not an automatic color flip).
+
+The rules encoded here follow the repo's charting conventions: one
+y-axis per chart (never dual), thin 2px line marks, recessive hairline
+grids, categorical series colors assigned in fixed slot order (never
+cycled, at most :data:`MAX_SERIES` series per chart), text always in
+ink tokens rather than series colors, a legend whenever two or more
+series share a plot, and native ``<title>`` tooltips on point markers
+and event rules as the hover layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from xml.sax.saxutils import escape
+
+__all__ = ["Series", "EventMark", "line_chart", "MAX_SERIES"]
+
+# Validated categorical palette (light, dark) per slot, in the one
+# fixed assignment order. Entities past the last slot fold into an
+# "other" bucket rather than minting new hues.
+PALETTE: list[tuple[str, str]] = [
+    ("#2a78d6", "#3987e5"),  # blue
+    ("#eb6834", "#d95926"),  # orange
+    ("#1baf7a", "#199e70"),  # aqua
+    ("#eda100", "#c98500"),  # yellow
+    ("#e87ba4", "#d55181"),  # magenta
+    ("#008300", "#008300"),  # green
+    ("#4a3aa7", "#9085e9"),  # violet
+    ("#e34948", "#e66767"),  # red
+]
+MAX_SERIES = len(PALETTE)
+
+_W, _H = 720, 220
+_ML, _MR, _MT, _MB = 64, 14, 12, 34
+
+
+@dataclass
+class Series:
+    """One line on a chart: points plus the fixed palette slot."""
+
+    label: str
+    x: list[float]
+    y: list[float]
+    slot: int = 0
+    step: bool = False  # draw as a step function (occupancy, pod counts)
+
+
+@dataclass
+class EventMark:
+    """One annotated instant (fault, cloud rental, scale decision)."""
+
+    x: float
+    label: str
+    kind: str = "info"  # "fault" -> critical rule, else muted
+
+
+def _fmt(value: float) -> str:
+    """Compact tick label: 1200 -> '1.2k', 0.25 -> '0.25'."""
+    if abs(value) >= 10_000:
+        return f"{value / 1000:.0f}k"
+    if abs(value) >= 1000:
+        return f"{value / 1000:.1f}k"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3g}"
+    return f"{value:.2g}"
+
+
+def _ticks(hi: float, n: int = 4) -> list[float]:
+    """n+1 evenly spaced tick values from 0 to a rounded-up top."""
+    if hi <= 0:
+        hi = 1.0
+    raw = hi / n
+    magnitude = 10 ** len(str(int(raw))) / 10 if raw >= 1 else 1.0
+    for nice in (1, 2, 2.5, 5, 10):
+        if raw <= nice * magnitude:
+            step = nice * magnitude
+            break
+    else:  # pragma: no cover - loop always breaks at 10
+        step = raw
+    return [step * i for i in range(n + 1)]
+
+
+def line_chart(
+    series: list[Series],
+    *,
+    title: str,
+    y_label: str,
+    x_label: str = "time (s)",
+    events: list[EventMark] | None = None,
+    y_top: float | None = None,
+    y_rule: float | None = None,
+    y_rule_label: str = "",
+) -> str:
+    """One titled, self-contained SVG line/step chart.
+
+    ``y_rule`` draws a single horizontal reference rule (an SLO bound,
+    a capacity ceiling) with its label in ink, never a second axis.
+    Returns the chart wrapped in a ``<figure>`` with an HTML legend
+    when the chart carries two or more series.
+    """
+    series = series[:MAX_SERIES]
+    events = list(events or [])
+    xs = [v for s in series for v in s.x] + [e.x for e in events]
+    ys = [v for s in series for v in s.y]
+    if not xs or not ys:
+        return (
+            f'<figure class="chart"><figcaption>{escape(title)}'
+            '</figcaption><p class="muted">no samples recorded</p></figure>'
+        )
+    x_hi = max(xs) or 1.0
+    y_hi = max([*ys, y_rule or 0.0, y_top or 0.0]) * 1.05 or 1.0
+    ticks = _ticks(y_hi)
+    y_hi = max(ticks[-1], y_hi)
+    plot_w = _W - _ML - _MR
+    plot_h = _H - _MT - _MB
+
+    def px(x: float) -> float:
+        return _ML + plot_w * (x / x_hi)
+
+    def py(y: float) -> float:
+        return _MT + plot_h * (1.0 - y / y_hi)
+
+    parts: list[str] = [
+        f'<svg viewBox="0 0 {_W} {_H}" role="img" '
+        f'aria-label="{escape(title)}">'
+    ]
+    # Recessive grid + y tick labels (ink tokens, not series colors).
+    for tick in ticks:
+        y = py(tick)
+        parts.append(
+            f'<line class="grid" x1="{_ML}" y1="{y:.1f}" '
+            f'x2="{_W - _MR}" y2="{y:.1f}"/>'
+        )
+        parts.append(
+            f'<text class="tick" x="{_ML - 6}" y="{y + 3.5:.1f}" '
+            f'text-anchor="end">{_fmt(tick)}</text>'
+        )
+    # x-axis baseline and extent labels.
+    parts.append(
+        f'<line class="axis" x1="{_ML}" y1="{py(0):.1f}" '
+        f'x2="{_W - _MR}" y2="{py(0):.1f}"/>'
+    )
+    parts.append(
+        f'<text class="tick" x="{_ML}" y="{_H - 18}">0</text>'
+        f'<text class="tick" x="{_W - _MR}" y="{_H - 18}" '
+        f'text-anchor="end">{_fmt(x_hi)}</text>'
+        f'<text class="tick" x="{(_ML + _W - _MR) / 2:.0f}" y="{_H - 4}" '
+        f'text-anchor="middle">{escape(x_label)}</text>'
+    )
+    # Rotated y-axis label in secondary ink.
+    parts.append(
+        f'<text class="tick" transform="rotate(-90)" '
+        f'x="{-_H / 2:.0f}" y="12" text-anchor="middle">'
+        f"{escape(y_label)}</text>"
+    )
+    if y_rule is not None and y_rule <= y_hi:
+        y = py(y_rule)
+        parts.append(
+            f'<line class="rule" x1="{_ML}" y1="{y:.1f}" '
+            f'x2="{_W - _MR}" y2="{y:.1f}"/>'
+        )
+        if y_rule_label:
+            parts.append(
+                f'<text class="tick" x="{_W - _MR}" y="{y - 4:.1f}" '
+                f'text-anchor="end">{escape(y_rule_label)}</text>'
+            )
+    # Event rules: dashed verticals, hover label via native <title>.
+    for event in events:
+        x = px(min(event.x, x_hi))
+        cls = "event-fault" if event.kind == "fault" else "event"
+        parts.append(
+            f'<g><line class="{cls}" x1="{x:.1f}" y1="{_MT}" '
+            f'x2="{x:.1f}" y2="{py(0):.1f}"/>'
+            f"<title>{escape(event.label)}</title></g>"
+        )
+    # Data last, above the chrome: thin 2px lines, sparse point markers
+    # with tooltips when the series is small enough to hover.
+    for s in series:
+        if not s.x:
+            continue
+        points = list(zip(s.x, s.y))
+        cmds = [f"M{px(points[0][0]):.1f},{py(points[0][1]):.1f}"]
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            if s.step:
+                cmds.append(f"L{px(x1):.1f},{py(y0):.1f}")
+            cmds.append(f"L{px(x1):.1f},{py(y1):.1f}")
+        if s.step:
+            cmds.append(f"L{px(x_hi):.1f},{py(points[-1][1]):.1f}")
+        parts.append(
+            f'<path class="s{s.slot % MAX_SERIES}" d="{" ".join(cmds)}"/>'
+        )
+        if len(points) <= 48:
+            for x, y in points:
+                parts.append(
+                    f'<g><circle class="s{s.slot % MAX_SERIES}" '
+                    f'cx="{px(x):.1f}" cy="{py(y):.1f}" r="2.5"/>'
+                    f"<title>{escape(s.label)}: t={_fmt(x)}s, "
+                    f"{_fmt(y)}</title></g>"
+                )
+    parts.append("</svg>")
+    legend = ""
+    if len(series) >= 2:
+        swatches = "".join(
+            f'<span class="key"><span class="swatch s{s.slot % MAX_SERIES}">'
+            f"</span>{escape(s.label)}</span>"
+            for s in series
+        )
+        legend = f'<div class="legend">{swatches}</div>'
+    return (
+        f'<figure class="chart"><figcaption>{escape(title)}</figcaption>'
+        f"{parts[0]}{''.join(parts[1:])}{legend}</figure>"
+    )

@@ -79,6 +79,16 @@ from repro.simulation.cluster import (
     TenantGroup,
 )
 from repro.simulation.scenario import ScenarioSpec, load_scenario
+from repro.simulation.library import (
+    DEFAULT_SCENARIO_DIR,
+    Expectations,
+    ExpectationCheck,
+    ExpectationReport,
+    evaluate_expectations,
+    list_scenarios,
+    load_by_name,
+    scenario_path,
+)
 
 __all__ = [
     "FAULT_KINDS",
@@ -96,6 +106,14 @@ __all__ = [
     "ReplayTraffic",
     "ScenarioSpec",
     "load_scenario",
+    "DEFAULT_SCENARIO_DIR",
+    "Expectations",
+    "ExpectationCheck",
+    "ExpectationReport",
+    "evaluate_expectations",
+    "list_scenarios",
+    "load_by_name",
+    "scenario_path",
     "WeightAwareRouter",
     "BurstPolicy",
     "CloudLedger",

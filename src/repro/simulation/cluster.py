@@ -479,6 +479,23 @@ class ClusterResult:
                     for gpu in sorted(self.cloud_catalog.instances)
                 },
             }
+        occupancy = {}
+        for gpu in sorted(self.capacity):
+            times, used = self.occupancy_series(gpu)
+            occupancy[gpu] = {
+                "t": [float(v) for v in times],
+                "used": [int(v) for v in used],
+            }
+        tenant_ttft = {}
+        for tenant in self.tenants:
+            metrics = self.results[tenant].metrics
+            if metrics is None:
+                continue
+            t, p95 = metrics.ttft_p95_series(window_s)
+            tenant_ttft[tenant] = {
+                "t": [float(v) for v in t],
+                "p95_s": [float(v) for v in p95],
+            }
         return {
             "kind": self.kind,
             "duration_s": self.duration_s,
@@ -504,6 +521,11 @@ class ClusterResult:
                 {"tenant": tenant, **fault_event_dict(event)}
                 for tenant, event in self.fault_events()
             ],
+            "series": {
+                "window_s": float(window_s),
+                "occupancy": occupancy,
+                "tenant_ttft_p95": tenant_ttft,
+            },
         }
 
     def summary(self) -> str:

@@ -454,6 +454,21 @@ class FleetResult:
         run kept its samples, and at least one fault event fired;
         otherwise it is None.
         """
+        series = None
+        if self.metrics is not None:
+            ttft_t, ttft_p95 = self.metrics.ttft_p95_series(window_s)
+            tput_t, tput = self.metrics.throughput_timeseries()
+            series = {
+                "window_s": float(window_s),
+                "ttft_p95": {
+                    "t": [float(v) for v in ttft_t],
+                    "p95_s": [float(v) for v in ttft_p95],
+                },
+                "throughput": {
+                    "t": [float(v) for v in tput_t],
+                    "tokens_per_s": [float(v) for v in tput],
+                },
+            }
         recovery = None
         if (
             slo_p95_ttft_s is not None
@@ -497,6 +512,7 @@ class FleetResult:
             "scale_events": [scale_event_dict(e) for e in self.scale_events],
             "fault_events": [fault_event_dict(e) for e in self.fault_events],
             "recovery": recovery,
+            "series": series,
             "per_pod": [
                 {
                     "pod": p.pod,

@@ -74,7 +74,7 @@ __all__ = ["ScenarioSpec", "load_scenario"]
 _TOP_KEYS = set(
     "name seed duration_s warmup_s llm profile pods max_batch_weight "
     "workload traffic router admission autoscaler slo_ttft_ms tenants "
-    "capacity faults cloud".split()
+    "capacity faults cloud expectations".split()
 )
 _TENANT_KEYS = set(
     "name llm profile pods max_batch_weight traffic router admission "
@@ -109,6 +109,10 @@ _CLOUD_KEYS = set(
 )
 _CLOUD_CATALOG_KEYS = set(
     "on_demand spot reserved quota_gpus spot_interruptions_per_hour".split()
+)
+_EXPECTATION_KEYS = set(
+    "p95_ttft_ms_max slo_attainment_min cost_max_usd min_completed "
+    "max_lost fast_oracle_parity".split()
 )
 
 
@@ -170,6 +174,7 @@ class ScenarioSpec:
     tenants: list[dict] = field(default_factory=list)
     capacity: dict[str, int] = field(default_factory=dict)
     cloud: dict | None = None
+    expectations: dict | None = None
 
     # ---- construction -----------------------------------------------------
 
@@ -200,6 +205,7 @@ class ScenarioSpec:
             tenants=[dict(t) for t in spec.get("tenants") or []],
             capacity={str(k): int(v) for k, v in (spec.get("capacity") or {}).items()},
             cloud=spec.get("cloud"),
+            expectations=spec.get("expectations"),
         )
         out._validate()
         return out
@@ -223,7 +229,12 @@ class ScenarioSpec:
                         f"is a YAML scenario but PyYAML is not "
                         "installed; use a .json spec or install pyyaml"
                     ) from exc
-                raw = yaml.safe_load(text)
+                try:
+                    raw = yaml.safe_load(text)
+                except yaml.YAMLError as exc:
+                    # Not a ValueError subclass: without this wrap, a
+                    # malformed file would escape without its path.
+                    raise ValueError(f"invalid YAML: {exc}") from exc
             else:
                 raw = json.loads(text)
             return cls.from_dict(raw)
@@ -256,6 +267,7 @@ class ScenarioSpec:
         check(_check_keys, self.workload, _WORKLOAD_KEYS, "workload")
         check(self._validate_faults, self.faults, "scenario faults")
         check(self._validate_cloud)
+        check(self._validate_expectations)
         if self.cloud is not None and not self.tenants:
             errors.append(
                 "a cloud section needs tenants: bursting is a cluster "
@@ -387,6 +399,53 @@ class ScenarioSpec:
                 _fault_spec(event)
             except ValueError as exc:
                 raise ValueError(f"{label}: {exc}") from exc
+
+    def _validate_expectations(self) -> None:
+        """The ``expectations`` section, when present, is a mapping of
+        known bound names to non-negative numbers (plus the boolean
+        ``fast_oracle_parity`` marker). Evaluation lives in
+        :mod:`repro.simulation.library`; only the shape is checked here
+        so a curated scenario file fails at load, not mid-matrix."""
+        section = self.expectations
+        if section is None:
+            return
+        if not isinstance(section, dict):
+            raise ValueError(
+                f"expectations must be a mapping, got {type(section)}"
+            )
+        _check_keys(section, _EXPECTATION_KEYS, "expectations")
+        for key, value in section.items():
+            if key == "fast_oracle_parity":
+                if not isinstance(value, bool):
+                    raise ValueError(
+                        f"expectations fast_oracle_parity must be a "
+                        f"boolean, got {value!r}"
+                    )
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    f"expectations {key} must be a number, got {value!r}"
+                )
+            if float(value) < 0:
+                raise ValueError(
+                    f"expectations {key} must be >= 0, got {value}"
+                )
+        if "slo_attainment_min" in section:
+            attainment = float(section["slo_attainment_min"])
+            if attainment > 1.0:
+                raise ValueError(
+                    f"expectations slo_attainment_min is a fraction, "
+                    f"got {attainment}"
+                )
+            has_slo = self.slo_ttft_ms is not None or (
+                self.tenants
+                and all("slo_ttft_ms" in t for t in self.tenants)
+            )
+            if not has_slo:
+                raise ValueError(
+                    "expectations slo_attainment_min needs slo_ttft_ms "
+                    "on the scenario (or on every tenant)"
+                )
 
     def _validate_cloud(self) -> None:
         from repro.hardware.pricing import CLOUD_PRICING_MODES
@@ -689,6 +748,7 @@ class ScenarioSpec:
         pods: int,
         max_batch_weight: int,
         n_zones: int = 1,
+        fast: bool = True,
     ):
         from repro.cluster.deployment import Deployment
         from repro.hardware.profile import parse_profile
@@ -701,11 +761,16 @@ class ScenarioSpec:
             max_batch_weight=max_batch_weight,
             generator=generator,
             seed=self.seed,
+            fast=fast,
             n_zones=n_zones,
         )
 
-    def build_fleet(self, generator=None) -> FleetSimulator:
-        """The single-tenant form: one ready-to-run fleet simulator."""
+    def build_fleet(self, generator=None, fast: bool = True) -> FleetSimulator:
+        """The single-tenant form: one ready-to-run fleet simulator.
+
+        ``fast=False`` selects the straight-line golden-oracle event
+        loop (bit-identical results; for verification).
+        """
         if self.is_cluster:
             raise ValueError(
                 f"scenario {self.name!r} declares tenants; build_cluster() "
@@ -719,6 +784,7 @@ class ScenarioSpec:
             self.pods,
             self.max_batch_weight,
             n_zones=self._zones(self.faults),
+            fast=fast,
         )
         router = self._wrap_admission(self._build_router(None), self.admission)
         return deployment.fleet(
@@ -729,12 +795,14 @@ class ScenarioSpec:
             faults=self._build_faults(self.faults, self.name),
         )
 
-    def build_cluster(self, generator=None) -> "ClusterSimulator":
+    def build_cluster(self, generator=None, fast: bool = True) -> "ClusterSimulator":
         """The multi-tenant form: tenants contending for one inventory.
 
         Tenant entries inherit every top-level field they do not
         override (llm, profile, pods, traffic, router, admission,
         autoscaler, slo_ttft_ms, max_batch_weight, faults).
+        ``fast=False`` selects the oracle engine/cluster loops
+        (bit-identical results; for verification).
         """
         from repro.simulation.cluster import ClusterInventory, ClusterSimulator
 
@@ -754,6 +822,7 @@ class ScenarioSpec:
                 int(tenant.get("pods", self.pods)),
                 int(tenant.get("max_batch_weight", self.max_batch_weight)),
                 n_zones=self._zones(fault_section),
+                fast=fast,
             )
             router = self._wrap_admission(
                 self._build_router(tenant.get("router", self.router)),
@@ -778,25 +847,33 @@ class ScenarioSpec:
         return ClusterSimulator(
             groups,
             ClusterInventory(capacity=dict(self.capacity)),
+            fast=fast,
             cloud=None if cloud is None else cloud[0],
             burst=None if cloud is None else cloud[1],
         )
 
-    def run(self, keep_samples: bool = False) -> "FleetResult | ClusterResult":
+    def run(
+        self,
+        keep_samples: bool = False,
+        generator=None,
+        fast: bool = True,
+    ) -> "FleetResult | ClusterResult":
         """Build and run the scenario; conservation-checked result.
 
         Returns a :class:`~repro.simulation.fleet.FleetResult` for fleet
         scenarios and a :class:`~repro.simulation.cluster.ClusterResult`
-        for cluster scenarios.
+        for cluster scenarios. A pre-fitted workload ``generator`` (for
+        callers running many scenarios off one trace collection) and the
+        fast/oracle toggle pass straight through to the builders.
         """
         if self.is_cluster:
-            result = self.build_cluster().run(
+            result = self.build_cluster(generator=generator, fast=fast).run(
                 duration_s=self.duration_s,
                 warmup_s=self.warmup_s,
                 keep_samples=keep_samples,
             )
         else:
-            result = self.build_fleet().run(
+            result = self.build_fleet(generator=generator, fast=fast).run(
                 duration_s=self.duration_s,
                 warmup_s=self.warmup_s,
                 keep_samples=keep_samples,

@@ -302,6 +302,7 @@ class TestClusterSimCommand:
         assert set(data) == {
             "kind", "duration_s", "capacity", "total_cost", "peak_occupancy",
             "cloud", "tenants", "contended_scale_events", "fault_events",
+            "series",
         }
         assert data["kind"] == "cluster"
         assert data["capacity"] == {"A100-80GB": 3}
@@ -476,3 +477,66 @@ class TestRecommendElasticCommand:
         )
         assert rc == 2
         assert "open-loop" in capsys.readouterr().err
+
+
+class TestScenarioNameFlag:
+    """--scenario-name resolves through the curated scenarios/ library,
+    and scenario errors always name the offending file."""
+
+    def test_simulate_runs_library_scenario_by_name(self, capsys):
+        rc = main(
+            ["simulate", "--scenario-name", "steady-poisson-baseline", "--json"]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "fleet"
+        assert data["arrivals"] > 0
+
+    def test_scenario_name_miss_lists_available_names(self, capsys):
+        rc = main(["simulate", "--scenario-name", "no-such-scenario"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario name 'no-such-scenario'" in err
+        # The miss is actionable: every curated name is listed.
+        assert "steady-poisson-baseline" in err
+        assert "noisy-neighbor" in err
+
+    def test_cluster_sim_scenario_name_miss_lists_available_names(self, capsys):
+        rc = main(["cluster-sim", "--scenario-name", "no-such-scenario"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario name" in err
+        assert "available:" in err
+
+    def test_scenario_name_and_file_are_mutually_exclusive(self, capsys):
+        rc = main(
+            [
+                "simulate",
+                "--scenario", "x.yaml",
+                "--scenario-name", "steady-poisson-baseline",
+            ]
+        )
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_malformed_yaml_error_names_the_file(self, tmp_path, capsys):
+        spec = tmp_path / "broken.yaml"
+        spec.write_text("name: [unclosed\n")
+        rc = main(["simulate", "--scenario", str(spec)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "broken.yaml" in err
+        assert "invalid YAML" in err
+
+    def test_invalid_spec_error_names_the_file(self, tmp_path, capsys):
+        spec = tmp_path / "bad-keys.json"
+        spec.write_text(json.dumps({"durations": 5.0}))
+        rc = main(["simulate", "--scenario", str(spec)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "bad-keys.json" in err
+
+    def test_missing_scenario_file_error_names_the_file(self, capsys):
+        rc = main(["simulate", "--scenario", "does-not-exist.yaml"])
+        assert rc == 2
+        assert "does-not-exist.yaml" in capsys.readouterr().err

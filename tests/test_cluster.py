@@ -35,6 +35,13 @@ class TestBalancer:
         with pytest.raises(ValueError):
             round_robin_assignment(1, 0)
 
+    def test_balancer_module_is_retired_with_pointer(self):
+        # The repro.cluster.balancer deprecation shim is gone for good;
+        # the old import path must fail loudly and say where the names
+        # live now, not resurface as a silent re-export.
+        with pytest.raises(ImportError, match="repro.simulation.traffic"):
+            from repro.cluster import balancer  # noqa: F401
+
 
 class TestDeployment:
     @pytest.fixture()
